@@ -1,0 +1,85 @@
+// Shared helpers for the figure-reproduction harnesses.
+//
+// Every harness prints (a) a human-readable table and (b) machine-readable
+// CSV rows of the form
+//     CSV,<figure>,<mode>,<series>,<x>,<y>[,extra...]
+// so the series can be plotted directly against the paper's figures.
+//
+// Flags (all optional):
+//   --mode=real|sim|both   real threads on this host, the calibrated DES
+//                          model of the paper's 64-core replicas, or both
+//                          (default: both)
+//   --quick                trim sweeps for a fast smoke run
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace psmr::bench {
+
+struct Options {
+  bool run_real = true;
+  bool run_sim = true;
+  bool quick = false;
+};
+
+inline Options parse_options(int argc, char** argv) {
+  Options options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--mode=real") {
+      options.run_sim = false;
+    } else if (arg == "--mode=sim") {
+      options.run_real = false;
+    } else if (arg == "--mode=both") {
+      options.run_real = options.run_sim = true;
+    } else if (arg == "--quick") {
+      options.quick = true;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
+    }
+  }
+  return options;
+}
+
+inline void print_header(const char* figure, const char* description,
+                         const char* mode) {
+  std::printf("\n=== %s (%s) — %s ===\n", figure, mode, description);
+}
+
+// CSV rows are buffered and printed as one block by csv_flush() so they do
+// not interleave with the human-readable tables.
+inline std::vector<std::string>& csv_buffer() {
+  static std::vector<std::string> buffer;
+  return buffer;
+}
+
+inline void csv_row(const char* figure, const char* mode, const char* series,
+                    double x, double y) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "CSV,%s,%s,%s,%g,%.3f", figure, mode,
+                series, x, y);
+  csv_buffer().emplace_back(line);
+}
+
+inline void csv_row(const char* figure, const char* mode, const char* series,
+                    double x, double y, double extra) {
+  char line[256];
+  std::snprintf(line, sizeof(line), "CSV,%s,%s,%s,%g,%.3f,%.3f", figure,
+                mode, series, x, y, extra);
+  csv_buffer().emplace_back(line);
+}
+
+inline void csv_flush() {
+  if (csv_buffer().empty()) return;
+  std::printf("\n--- machine-readable series ---\n");
+  for (const std::string& line : csv_buffer()) {
+    std::printf("%s\n", line.c_str());
+  }
+  csv_buffer().clear();
+}
+
+}  // namespace psmr::bench

@@ -1,0 +1,128 @@
+// Microbenchmarks of the COS primitives (google-benchmark).
+//
+// BM_CosCycle measures one insert+get+remove cycle of a read command while
+// the graph is held at a fixed population of in-flight ("executing")
+// commands, for each implementation and several populations. The per-node
+// slope and base extracted from these numbers calibrate the DES cost model
+// (sim/cos_models.h); see EXPERIMENTS.md for the fitted constants.
+//
+// BM_CosInsertOnly isolates the scheduler-side insert cost (the lock-free
+// scheduler's throughput ceiling reported by the paper). BM_EbrPin and
+// BM_Semaphore quantify the fixed overheads of the supporting machinery.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "common/semaphore.h"
+#include "cos/factory.h"
+#include "app/linked_list_service.h"
+#include "memory/ebr.h"
+
+namespace {
+
+using psmr::Command;
+using psmr::CosHandle;
+using psmr::CosKind;
+
+Command read_cmd(std::uint64_t id) {
+  Command c = psmr::LinkedListService::make_contains(id);
+  c.id = id;
+  return c;
+}
+
+// One full cycle at a steady population: `population` commands are held in
+// the executing state so every traversal walks them.
+void BM_CosCycle(benchmark::State& state) {
+  const auto kind = static_cast<CosKind>(state.range(0));
+  const auto population = static_cast<std::size_t>(state.range(1));
+  auto cos = psmr::make_cos(kind, population + 8, psmr::rw_conflict);
+
+  std::uint64_t next_id = 1;
+  std::vector<CosHandle> held;
+  for (std::size_t i = 0; i < population; ++i) {
+    cos->insert(read_cmd(next_id++));
+    held.push_back(cos->get());  // mark executing; keep in the graph
+  }
+
+  for (auto _ : state) {
+    cos->insert(read_cmd(next_id++));
+    CosHandle h = cos->get();
+    benchmark::DoNotOptimize(h);
+    cos->remove(h);
+  }
+
+  for (CosHandle& h : held) cos->remove(h);
+  state.SetLabel(psmr::cos_kind_name(kind));
+}
+
+void BM_CosInsertOnly(benchmark::State& state) {
+  const auto kind = static_cast<CosKind>(state.range(0));
+  // Large graph so inserts never block; a worker drains implicitly by
+  // get+remove every iteration to keep the population constant at ~1.
+  auto cos = psmr::make_cos(kind, 1 << 16, psmr::rw_conflict);
+  std::uint64_t next_id = 1;
+  for (auto _ : state) {
+    cos->insert(read_cmd(next_id++));
+    state.PauseTiming();
+    CosHandle h = cos->get();
+    cos->remove(h);
+    state.ResumeTiming();
+  }
+  state.SetLabel(psmr::cos_kind_name(kind));
+}
+
+void BM_EbrPin(benchmark::State& state) {
+  psmr::EbrDomain domain;
+  for (auto _ : state) {
+    auto guard = domain.pin();
+    benchmark::DoNotOptimize(&guard);
+  }
+}
+
+void BM_EbrRetireFlushCycle(benchmark::State& state) {
+  psmr::EbrDomain domain;
+  for (auto _ : state) {
+    domain.retire(new int(1));
+  }
+  domain.flush();
+}
+
+void BM_Semaphore(benchmark::State& state) {
+  psmr::Semaphore sem(1);
+  for (auto _ : state) {
+    sem.acquire();
+    sem.release();
+  }
+}
+
+void BM_ConflictCheck(benchmark::State& state) {
+  const Command a = psmr::LinkedListService::make_contains(1);
+  const Command b = psmr::LinkedListService::make_add(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(psmr::rw_conflict(a, b));
+  }
+}
+
+void cos_cycle_args(benchmark::internal::Benchmark* bench) {
+  for (int kind = 0; kind < 3; ++kind) {
+    for (int population : {0, 25, 75, 149}) {
+      bench->Args({kind, population});
+    }
+  }
+}
+
+}  // namespace
+
+BENCHMARK(BM_CosCycle)->Apply(cos_cycle_args)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_CosInsertOnly)
+    ->Arg(0)
+    ->Arg(1)
+    ->Arg(2)
+    ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_EbrPin)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_EbrRetireFlushCycle)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_Semaphore)->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_ConflictCheck)->Unit(benchmark::kNanosecond);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+#include "app/bank_service.h"
+
+#include <algorithm>
+
+#include "codec/codec.h"
+
+namespace psmr {
+
+BankService::BankService(std::size_t accounts, std::uint64_t initial_balance)
+    : balances_(accounts, initial_balance) {}
+
+Response BankService::execute(const Command& c) {
+  Response r{c.client, c.client_seq, 0, false};
+  switch (c.op) {
+    case kBalance:
+      r.value = balances_[c.keys[0]];
+      r.ok = true;
+      break;
+    case kDeposit:
+      balances_[c.keys[0]] += c.arg;
+      r.value = balances_[c.keys[0]];
+      r.ok = true;
+      break;
+    case kTransfer: {
+      auto& from = balances_[c.keys[0]];
+      auto& to = balances_[c.keys[1]];
+      const std::uint64_t moved = std::min<std::uint64_t>(c.arg, from);
+      from -= moved;
+      to += moved;
+      r.value = moved;
+      r.ok = moved == c.arg;
+      break;
+    }
+    default:
+      break;
+  }
+  return r;
+}
+
+std::uint64_t BankService::total_balance() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t b : balances_) total += b;
+  return total;
+}
+
+std::uint64_t BankService::state_digest() const {
+  std::uint64_t h = 1469598103934665603ull;
+  for (std::uint64_t b : balances_) {
+    h ^= b;
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+std::vector<std::uint8_t> BankService::snapshot() const {
+  ByteWriter out;
+  out.put_varint(balances_.size());
+  for (std::uint64_t balance : balances_) out.put_varint(balance);
+  return out.take();
+}
+
+bool BankService::restore(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::uint64_t count = in.get_varint();
+  if (!in.ok() || count > in.remaining() * 10 + 1) return false;
+  std::vector<std::uint64_t> balances;
+  balances.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    balances.push_back(in.get_varint());
+  }
+  if (!in.ok()) return false;
+  balances_ = std::move(balances);
+  return true;
+}
+
+Command BankService::make_balance(std::uint64_t account) {
+  Command c;
+  c.op = kBalance;
+  c.mode = AccessMode::kRead;
+  c.nkeys = 1;
+  c.keys[0] = account;
+  return c;
+}
+
+Command BankService::make_deposit(std::uint64_t account, std::uint64_t amount) {
+  Command c;
+  c.op = kDeposit;
+  c.mode = AccessMode::kWrite;
+  c.nkeys = 1;
+  c.keys[0] = account;
+  c.arg = amount;
+  return c;
+}
+
+Command BankService::make_transfer(std::uint64_t from, std::uint64_t to,
+                                   std::uint64_t amount) {
+  Command c;
+  c.op = kTransfer;
+  c.mode = AccessMode::kWrite;
+  c.nkeys = 2;
+  c.keys[0] = from;
+  c.keys[1] = to;
+  c.arg = amount;
+  return c;
+}
+
+}  // namespace psmr

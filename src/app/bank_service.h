@@ -1,0 +1,46 @@
+// Bank service: multi-key commands over a fixed set of accounts.
+//
+// Demonstrates the general form of the conflict relation: TRANSFER touches
+// two accounts (both written), BALANCE reads one. Independent transfers on
+// disjoint account pairs run concurrently; the conserved total balance is a
+// strong cross-command invariant used by the integration and property tests
+// (any lost update or ordering violation breaks conservation or determinism).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "app/service.h"
+
+namespace psmr {
+
+class BankService final : public Service {
+ public:
+  enum Op : std::uint16_t { kBalance = 1, kDeposit = 2, kTransfer = 3 };
+
+  BankService(std::size_t accounts, std::uint64_t initial_balance);
+
+  Response execute(const Command& c) override;
+  ConflictFn conflict() const override { return keyset_rw_conflict; }
+  std::uint64_t state_digest() const override;
+  std::vector<std::uint8_t> snapshot() const override;
+  bool restore(std::span<const std::uint8_t> bytes) override;
+  const char* name() const override { return "bank"; }
+
+  std::uint64_t total_balance() const;
+  std::size_t account_count() const { return balances_.size(); }
+  std::uint64_t balance(std::uint64_t account) const {
+    return balances_[account];
+  }
+
+  static Command make_balance(std::uint64_t account);
+  static Command make_deposit(std::uint64_t account, std::uint64_t amount);
+  // Moves min(amount, balance(from)) from `from` to `to`.
+  static Command make_transfer(std::uint64_t from, std::uint64_t to,
+                               std::uint64_t amount);
+
+ private:
+  std::vector<std::uint64_t> balances_;
+};
+
+}  // namespace psmr

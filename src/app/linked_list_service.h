@@ -1,0 +1,78 @@
+// The paper's evaluation application (§7.2): a sorted integer linked list
+// exposing contains(i) — a read — and add(i) — a write. The whole list is
+// one shared variable, so reads are mutually independent and writes conflict
+// with everything (rw_conflict). Execution cost is governed by the list
+// length: the paper initializes it with 1k, 10k and 100k entries for light,
+// moderate and heavy per-command cost, and every operation traverses from
+// the head.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "app/service.h"
+
+namespace psmr {
+
+// Paper cost classes and their initial list sizes.
+enum class ExecCost { kLight, kModerate, kHeavy };
+
+inline constexpr std::size_t exec_cost_list_size(ExecCost cost) {
+  switch (cost) {
+    case ExecCost::kLight:
+      return 1'000;
+    case ExecCost::kModerate:
+      return 10'000;
+    case ExecCost::kHeavy:
+      return 100'000;
+  }
+  return 0;
+}
+
+inline constexpr const char* exec_cost_name(ExecCost cost) {
+  switch (cost) {
+    case ExecCost::kLight:
+      return "light";
+    case ExecCost::kModerate:
+      return "moderate";
+    case ExecCost::kHeavy:
+      return "heavy";
+  }
+  return "?";
+}
+
+class LinkedListService final : public Service {
+ public:
+  enum Op : std::uint16_t { kContains = 1, kAdd = 2 };
+
+  // Initializes the list with values 0 .. initial_size-1, as in the paper.
+  explicit LinkedListService(std::size_t initial_size);
+  ~LinkedListService() override;
+
+  Response execute(const Command& c) override;
+  ConflictFn conflict() const override { return rw_conflict; }
+  std::uint64_t state_digest() const override;
+  std::vector<std::uint8_t> snapshot() const override;
+  bool restore(std::span<const std::uint8_t> bytes) override;
+  const char* name() const override { return "linked-list"; }
+
+  std::size_t size() const { return size_; }
+
+  // Command builders (the workload generator and clients use these).
+  static Command make_contains(std::uint64_t value);
+  static Command make_add(std::uint64_t value);
+
+ private:
+  struct ListNode {
+    std::uint64_t value;
+    ListNode* next;
+  };
+
+  bool contains(std::uint64_t value) const;
+  bool add(std::uint64_t value);
+
+  ListNode* head_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace psmr

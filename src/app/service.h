@@ -1,0 +1,54 @@
+// Deterministic replicated service interface.
+//
+// A Service is the state machine of SMR: executing the same sequence of
+// conflicting commands from the same initial state must yield the same
+// state and responses at every replica. Services declare their conflict
+// relation (#C), which the scheduler uses to build the dependency graph; a
+// service promises that commands the relation declares independent can be
+// executed concurrently against its state without synchronization (e.g.,
+// read-only operations).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "cos/command.h"
+#include "cos/conflict.h"
+
+namespace psmr {
+
+struct Response {
+  std::uint64_t client = 0;
+  std::uint64_t client_seq = 0;
+  std::uint64_t value = 0;  // service-specific result
+  bool ok = false;
+};
+
+class Service {
+ public:
+  virtual ~Service() = default;
+
+  // Executes one command. Thread-safety contract: concurrent calls are
+  // allowed only for commands that conflict() declares independent.
+  virtual Response execute(const Command& c) = 0;
+
+  // The conflict relation under which execute() is safe.
+  virtual ConflictFn conflict() const = 0;
+
+  // Order-independent digest of the current state; used to check that
+  // replicas converged. Must only be called when no execute() is running.
+  virtual std::uint64_t state_digest() const = 0;
+
+  // Checkpointing (state transfer for lagging/recovering replicas). Both
+  // must only be called when no execute() is running; restore() replaces
+  // the entire state and returns false on malformed input (leaving the
+  // state unspecified — callers discard the replica on failure).
+  virtual std::vector<std::uint8_t> snapshot() const = 0;
+  virtual bool restore(std::span<const std::uint8_t> bytes) = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace psmr

@@ -1,0 +1,387 @@
+#include "broadcast/sequenced_broadcast.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace psmr {
+
+SequencedBroadcast::SequencedBroadcast(SimNetwork& net, NodeId self, int index,
+                                       std::vector<NodeId> replicas,
+                                       Config config, DeliverFn deliver)
+    : net_(net),
+      self_(self),
+      index_(index),
+      replicas_(std::move(replicas)),
+      config_(config),
+      deliver_(std::move(deliver)) {}
+
+SequencedBroadcast::~SequencedBroadcast() { stop(); }
+
+void SequencedBroadcast::start() {
+  if (started_.exchange(true)) return;
+  {
+    std::lock_guard lock(mu_);
+    last_leader_activity_ns_ = now_ns();
+  }
+  timer_ = std::thread([this] { timer_loop(); });
+}
+
+void SequencedBroadcast::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  timer_cv_.notify_all();
+  if (timer_.joinable()) timer_.join();
+}
+
+bool SequencedBroadcast::is_leader() const {
+  std::lock_guard lock(mu_);
+  return leader_of(view_) == index_ && !view_changing_;
+}
+
+std::uint64_t SequencedBroadcast::view() const {
+  std::lock_guard lock(mu_);
+  return view_;
+}
+
+std::uint64_t SequencedBroadcast::last_delivered() const {
+  std::lock_guard lock(mu_);
+  return last_delivered_;
+}
+
+bool SequencedBroadcast::submit(const std::vector<Command>& cmds) {
+  std::unique_lock lock(mu_);
+  if (leader_of(view_) != index_ || view_changing_) return false;
+  if (pending_.empty()) pending_since_ns_ = now_ns();
+  pending_.insert(pending_.end(), cmds.begin(), cmds.end());
+  if (pending_.size() >= config_.batch_max) propose_locked(lock);
+  return true;
+}
+
+void SequencedBroadcast::broadcast_to_replicas_locked(const MessagePtr& m) {
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (static_cast<int>(i) == index_) continue;
+    net_.send(self_, replicas_[i], m);
+  }
+}
+
+void SequencedBroadcast::propose_locked(std::unique_lock<std::mutex>& lock) {
+  while (!pending_.empty()) {
+    const std::size_t take = std::min(pending_.size(), config_.batch_max);
+    std::vector<Command> batch(pending_.begin(),
+                               pending_.begin() + static_cast<long>(take));
+    pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(take));
+
+    const std::uint64_t seq = next_seq_++;
+    Slot& slot = log_[seq];
+    slot.view = view_;
+    slot.batch = batch;
+    slot.acks = {index_};
+    broadcast_to_replicas_locked(
+        make_message<AcceptMsg>(view_, seq, std::move(batch)));
+
+    // Single-replica deployments (n = 1): self-ack is already a majority.
+    if (slot.acks.size() * 2 > replicas_.size()) {
+      slot.committed = true;
+      broadcast_to_replicas_locked(make_message<CommitMsg>(view_, seq));
+    }
+    last_heartbeat_sent_ns_ = now_ns();  // proposals count as liveness
+  }
+  try_deliver_locked(lock);
+}
+
+void SequencedBroadcast::try_deliver_locked(
+    std::unique_lock<std::mutex>& lock) {
+  if (delivering_) return;  // the active deliverer will pick up new commits
+  delivering_ = true;
+  while (true) {
+    auto it = log_.find(last_delivered_ + 1);
+    if (it == log_.end() || !it->second.committed || it->second.delivered) {
+      break;
+    }
+    it->second.delivered = true;
+    const std::uint64_t seq = ++last_delivered_;
+    std::vector<Command> batch = it->second.batch;  // keep for view changes
+    lock.unlock();
+    if (!batch.empty()) deliver_(seq, batch);
+    lock.lock();
+    // Prune ancient slots beyond the retention window; a replica lagging
+    // past this needs state transfer (install_checkpoint).
+    while (!log_.empty() &&
+           log_.begin()->first + config_.retained_slots < last_delivered_) {
+      log_.erase(log_.begin());
+    }
+  }
+  delivering_ = false;
+}
+
+void SequencedBroadcast::handle(NodeId from, const MessagePtr& m) {
+  int from_index = -1;
+  for (std::size_t i = 0; i < replicas_.size(); ++i) {
+    if (replicas_[i] == from) from_index = static_cast<int>(i);
+  }
+  if (from_index < 0) return;  // not a replica
+
+  switch (m->type) {
+    case msg::kAccept:
+      on_accept(from_index, message_as<AcceptMsg>(m));
+      break;
+    case msg::kAccepted:
+      on_accepted(from_index, message_as<AcceptedMsg>(m));
+      break;
+    case msg::kCommit:
+      on_commit(message_as<CommitMsg>(m));
+      break;
+    case msg::kHeartbeat:
+      on_heartbeat(from_index, message_as<HeartbeatMsg>(m));
+      break;
+    case msg::kViewChange: {
+      const auto& vc = message_as<ViewChangeMsg>(m);
+      std::unique_lock lock(mu_);
+      process_view_change_locked(from_index, vc);
+      try_deliver_locked(lock);
+      break;
+    }
+    case msg::kNewView: {
+      const auto& nv = message_as<NewViewMsg>(m);
+      std::unique_lock lock(mu_);
+      adopt_new_view_locked(nv);
+      try_deliver_locked(lock);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void SequencedBroadcast::on_accept(int from_index, const AcceptMsg& m) {
+  std::unique_lock lock(mu_);
+  if (m.view != view_ || view_changing_) {
+    // A higher-view ACCEPT means we missed a NEWVIEW; join the newer view
+    // optimistically (its leader is alive and proposing).
+    if (m.view > view_) {
+      view_ = m.view;
+      view_changing_ = false;
+    } else {
+      return;
+    }
+  }
+  last_leader_activity_ns_ = now_ns();
+  maybe_report_gap_locked(from_index, m.seq);
+  Slot& slot = log_[m.seq];
+  if (!slot.delivered) {
+    slot.view = m.view;
+    slot.batch = m.batch;
+  }
+  net_.send(self_, replicas_[static_cast<std::size_t>(leader_of(view_))],
+            make_message<AcceptedMsg>(m.view, m.seq));
+}
+
+void SequencedBroadcast::on_accepted(int from_index, const AcceptedMsg& m) {
+  std::unique_lock lock(mu_);
+  if (m.view != view_ || leader_of(view_) != index_) return;
+  auto it = log_.find(m.seq);
+  if (it == log_.end()) return;
+  Slot& slot = it->second;
+  if (slot.committed) {
+    // Late ACCEPTED (typically after a view change) for a slot we already
+    // committed: the sender may still be missing the COMMIT, so re-send it
+    // point-to-point.
+    net_.send(self_, replicas_[static_cast<std::size_t>(from_index)],
+              make_message<CommitMsg>(view_, m.seq));
+    return;
+  }
+  slot.acks.insert(from_index);
+  if (!slot.committed && slot.acks.size() * 2 > replicas_.size()) {
+    slot.committed = true;
+    broadcast_to_replicas_locked(make_message<CommitMsg>(view_, m.seq));
+    try_deliver_locked(lock);
+  }
+}
+
+void SequencedBroadcast::on_commit(const CommitMsg& m) {
+  std::unique_lock lock(mu_);
+  last_leader_activity_ns_ = now_ns();
+  auto it = log_.find(m.seq);
+  if (it == log_.end() || it->second.batch.empty()) {
+    // Links are reliable FIFO, so the ACCEPT always precedes the COMMIT on
+    // the leader->us link; an unknown slot here means it was pruned
+    // (already delivered).
+    return;
+  }
+  it->second.committed = true;
+  try_deliver_locked(lock);
+}
+
+void SequencedBroadcast::on_heartbeat(int from_index, const HeartbeatMsg& m) {
+  std::lock_guard lock(mu_);
+  if (m.view >= view_) {
+    if (m.view > view_) {
+      view_ = m.view;
+      view_changing_ = false;
+    }
+    last_leader_activity_ns_ = now_ns();
+  }
+  maybe_report_gap_locked(from_index, m.committed_up_to);
+}
+
+// Requires mu_. Fires the gap handler (throttled) when a peer demonstrably
+// has history we can no longer obtain through ordinary delivery.
+void SequencedBroadcast::maybe_report_gap_locked(int from_index,
+                                                 std::uint64_t their_seq) {
+  if (!on_gap_) return;
+  if (their_seq <= last_delivered_ + config_.retained_slots) return;
+  const std::uint64_t now = now_ns();
+  if (now - last_gap_report_ns_ <
+      config_.gap_report_interval_ms * 1'000'000ull) {
+    return;
+  }
+  last_gap_report_ns_ = now;
+  on_gap_(replicas_[static_cast<std::size_t>(from_index)], last_delivered_);
+}
+
+void SequencedBroadcast::install_checkpoint(std::uint64_t seq) {
+  std::unique_lock lock(mu_);
+  if (seq <= last_delivered_) return;
+  last_delivered_ = seq;
+  while (!log_.empty() && log_.begin()->first <= seq) {
+    log_.erase(log_.begin());
+  }
+  try_deliver_locked(lock);  // slots beyond the checkpoint may be committed
+}
+
+std::vector<LogEntrySummary> SequencedBroadcast::accepted_log_locked() const {
+  std::vector<LogEntrySummary> entries;
+  entries.reserve(log_.size());
+  for (const auto& [seq, slot] : log_) {
+    if (!slot.batch.empty()) entries.push_back({seq, slot.view, slot.batch});
+  }
+  return entries;
+}
+
+void SequencedBroadcast::start_view_change_locked(std::uint64_t target_view) {
+  view_changing_ = true;
+  target_view_ = target_view;
+  view_change_msgs_.clear();
+  pending_.clear();  // clients will retransmit
+  last_leader_activity_ns_ = now_ns();
+
+  auto vc = std::make_shared<const ViewChangeMsg>(
+      target_view, accepted_log_locked(), last_delivered_);
+  const int new_leader = leader_of(target_view);
+  if (new_leader == index_) {
+    process_view_change_locked(index_, *vc);
+  } else {
+    net_.send(self_, replicas_[static_cast<std::size_t>(new_leader)], vc);
+  }
+}
+
+void SequencedBroadcast::process_view_change_locked(int from_index,
+                                                    const ViewChangeMsg& vc) {
+  if (vc.new_view < view_ || (view_ == vc.new_view && !view_changing_)) {
+    return;  // stale
+  }
+  if (leader_of(vc.new_view) != index_) {
+    // Someone else timed out before us; join their view change.
+    if (!view_changing_ || target_view_ < vc.new_view) {
+      start_view_change_locked(vc.new_view);
+    }
+    return;
+  }
+  if (!view_changing_ || target_view_ != vc.new_view) {
+    start_view_change_locked(vc.new_view);
+  }
+  view_change_msgs_.emplace(from_index, vc);
+  if (view_change_msgs_.size() * 2 <= replicas_.size()) return;
+
+  // Majority collected: compute the new log — per slot, the entry accepted
+  // in the highest view wins. Committed entries are majority-replicated, so
+  // the majority intersection guarantees they are all present.
+  std::map<std::uint64_t, LogEntrySummary> merged;
+  for (const auto& [idx, msg_vc] : view_change_msgs_) {
+    for (const auto& entry : msg_vc.accepted_log) {
+      auto it = merged.find(entry.seq);
+      if (it == merged.end() || it->second.view < entry.view) {
+        merged[entry.seq] = entry;
+      }
+    }
+  }
+  // Install locally.
+  view_ = vc.new_view;
+  view_changing_ = false;
+  view_change_msgs_.clear();
+  std::uint64_t max_seq = last_delivered_;
+  for (auto& [seq, entry] : merged) {
+    max_seq = std::max(max_seq, seq);
+    Slot& slot = log_[seq];
+    if (slot.delivered) continue;
+    slot.view = view_;
+    slot.batch = entry.batch;
+    slot.acks = {index_};
+    slot.committed = false;
+  }
+  next_seq_ = max_seq + 1;
+
+  std::vector<LogEntrySummary> install;
+  install.reserve(merged.size());
+  for (auto& [seq, entry] : merged) {
+    install.push_back({seq, view_, entry.batch});
+  }
+  broadcast_to_replicas_locked(make_message<NewViewMsg>(view_, install));
+  last_heartbeat_sent_ns_ = 0;  // heartbeat immediately
+}
+
+void SequencedBroadcast::adopt_new_view_locked(const NewViewMsg& nv) {
+  if (nv.view < view_) return;
+  view_ = nv.view;
+  view_changing_ = false;
+  view_change_msgs_.clear();
+  last_leader_activity_ns_ = now_ns();
+  const int leader = leader_of(view_);
+  for (const auto& entry : nv.log) {
+    Slot& slot = log_[entry.seq];
+    if (slot.delivered) continue;
+    slot.view = view_;
+    slot.batch = entry.batch;
+    net_.send(self_, replicas_[static_cast<std::size_t>(leader)],
+              make_message<AcceptedMsg>(view_, entry.seq));
+  }
+}
+
+void SequencedBroadcast::timer_loop() {
+  std::unique_lock lock(mu_);
+  while (!stopping_) {
+    timer_cv_.wait_for(
+        lock, std::chrono::milliseconds(config_.tick_interval_ms),
+        [&] { return stopping_; });
+    if (stopping_) return;
+    const std::uint64_t now = now_ns();
+    const bool am_leader = leader_of(view_) == index_ && !view_changing_;
+    if (am_leader) {
+      if (!pending_.empty() &&
+          now - pending_since_ns_ >= config_.batch_timeout_us * 1000ull) {
+        propose_locked(lock);
+      }
+      if (now - last_heartbeat_sent_ns_ >=
+          config_.heartbeat_interval_ms * 1'000'000ull) {
+        broadcast_to_replicas_locked(
+            make_message<HeartbeatMsg>(view_, last_delivered_));
+        last_heartbeat_sent_ns_ = now;
+      }
+    } else {
+      const std::uint64_t timeout_ns =
+          config_.leader_timeout_ms * 1'000'000ull;
+      if (now - last_leader_activity_ns_ >= timeout_ns) {
+        // Escalate past views whose leader never materialized.
+        const std::uint64_t next =
+            view_changing_ ? target_view_ + 1 : view_ + 1;
+        start_view_change_locked(next);
+      }
+    }
+  }
+}
+
+}  // namespace psmr

@@ -1,0 +1,176 @@
+// Sequenced atomic broadcast — the ordering substrate under each replica.
+//
+// Substitute for BFT-SMaRt's ordering protocol in its crash-fault
+// configuration: a leader-based, majority-ack sequenced broadcast over
+// n = 2f+1 replicas (Paxos phase-2 pattern with a stable leader, plus a
+// Viewstamped-Replication-style view change for leader failure).
+//
+// Normal case:
+//   submit(cmds) at the leader appends to the pending batch; the batch is
+//   proposed when it reaches batch_max commands or batch_timeout elapses.
+//   The leader assigns the next sequence number and sends ACCEPT(view, seq,
+//   batch); replicas log it and answer ACCEPTED; on a majority (counting
+//   itself) the leader sends COMMIT; every replica delivers committed
+//   batches in sequence order (gap-free) through the deliver callback.
+//
+// Leader failure:
+//   The leader heartbeats when idle. A replica that hears nothing for
+//   leader_timeout starts view change v+1: it sends VIEWCHANGE(v+1, its
+//   accepted log) to the new leader (view round-robin). The new leader
+//   collects a majority of VIEWCHANGE messages, selects for each slot the
+//   entry accepted in the highest view (committed entries are majority-
+//   replicated, so they always survive the majority intersection), fills
+//   holes with no-op batches, and installs the result with NEWVIEW, after
+//   which normal case resumes. Uncommitted entries may be re-proposed; the
+//   SMR layer deduplicates by (client, client_seq) so re-execution never
+//   happens.
+//
+// Delivery ordering guarantee (uniform total order): all replicas deliver
+// the same batches in the same sequence order; delivery is gap-free and
+// each batch is delivered at most once per replica.
+//
+// Threading: handle() is invoked by the network endpoint dispatcher;
+// submit() by any thread; an internal timer thread drives batching,
+// heartbeats and failure detection. All state is guarded by one mutex; the
+// deliver callback is invoked while *not* holding it, in delivery order.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "broadcast/messages.h"
+#include "net/sim_network.h"
+
+namespace psmr {
+
+class SequencedBroadcast {
+ public:
+  struct Config {
+    std::size_t batch_max = 64;
+    std::uint64_t batch_timeout_us = 500;
+    std::uint64_t heartbeat_interval_ms = 10;
+    std::uint64_t leader_timeout_ms = 100;
+    std::uint64_t tick_interval_ms = 2;
+    // Delivered slots retained for view changes / laggards; a replica that
+    // falls further behind than this needs state transfer (see on_gap).
+    std::uint64_t retained_slots = 1024;
+    std::uint64_t gap_report_interval_ms = 200;
+  };
+
+  // `deliver` receives each committed batch exactly once, in sequence
+  // order, possibly from the timer or dispatcher thread — it must not block
+  // for long (the SMR replica hands off to its scheduler queue).
+  using DeliverFn = std::function<void(std::uint64_t seq,
+                                       const std::vector<Command>& batch)>;
+
+  // Invoked (throttled) when a peer's traffic shows this replica lags
+  // beyond the retention window and ordinary delivery can no longer catch
+  // it up; `peer` is a replica that has the missing history and
+  // `our_delivered` is this replica's delivery watermark. The SMR layer
+  // reacts with a state-transfer request. NOTE: invoked with the engine's
+  // internal mutex held — the handler must not call back into this engine.
+  using GapFn = std::function<void(NodeId peer, std::uint64_t our_delivered)>;
+
+  SequencedBroadcast(SimNetwork& net, NodeId self, int index,
+                     std::vector<NodeId> replicas, Config config,
+                     DeliverFn deliver);
+
+  void set_gap_handler(GapFn on_gap) { on_gap_ = std::move(on_gap); }
+
+  // State-transfer install: everything up to and including `seq` is covered
+  // by an externally restored checkpoint. Prunes the log below it and moves
+  // the delivery watermark; later committed slots resume delivering
+  // normally. No-op if `seq` is not ahead of the watermark.
+  void install_checkpoint(std::uint64_t seq);
+  ~SequencedBroadcast();
+
+  SequencedBroadcast(const SequencedBroadcast&) = delete;
+  SequencedBroadcast& operator=(const SequencedBroadcast&) = delete;
+
+  void start();
+  void stop();
+
+  // Feeds protocol messages (types msg::kAccept .. msg::kNewView).
+  void handle(NodeId from, const MessagePtr& m);
+
+  // Atomic-broadcast "broadcast" primitive: enqueues commands for ordering.
+  // Only effective at the current leader; callers forward client requests
+  // to every replica and non-leaders ignore them. Returns false if this
+  // replica does not believe itself leader (so callers may drop or buffer).
+  bool submit(const std::vector<Command>& cmds);
+
+  bool is_leader() const;
+  std::uint64_t view() const;
+  std::uint64_t last_delivered() const;
+
+ private:
+  struct Slot {
+    std::uint64_t view = 0;  // view in which the current value was accepted
+    std::vector<Command> batch;
+    std::set<int> acks;  // replica indices that ACCEPTED (leader only)
+    bool committed = false;
+    bool delivered = false;
+  };
+
+  int leader_of(std::uint64_t v) const {
+    return static_cast<int>(v % replicas_.size());
+  }
+
+  // All of the following require mu_ held.
+  void propose_locked(std::unique_lock<std::mutex>& lock);
+  void try_deliver_locked(std::unique_lock<std::mutex>& lock);
+  void broadcast_to_replicas_locked(const MessagePtr& m);
+  void start_view_change_locked(std::uint64_t target_view);
+  void process_view_change_locked(int from_index, const ViewChangeMsg& vc);
+  void adopt_new_view_locked(const NewViewMsg& nv);
+  std::vector<LogEntrySummary> accepted_log_locked() const;
+
+  void on_accept(int from_index, const AcceptMsg& m);
+  void on_accepted(int from_index, const AcceptedMsg& m);
+  void on_commit(const CommitMsg& m);
+  void on_heartbeat(int from_index, const HeartbeatMsg& m);
+  void maybe_report_gap_locked(int from_index, std::uint64_t their_seq);
+
+  void timer_loop();
+
+  SimNetwork& net_;
+  const NodeId self_;
+  const int index_;
+  const std::vector<NodeId> replicas_;
+  const Config config_;
+  const DeliverFn deliver_;
+  GapFn on_gap_;  // set before start(); not guarded afterwards
+
+  mutable std::mutex mu_;
+  std::uint64_t view_ = 0;
+  std::uint64_t next_seq_ = 1;        // leader: next slot to assign
+  std::uint64_t last_delivered_ = 0;  // highest gap-free delivered slot
+  std::map<std::uint64_t, Slot> log_;
+  std::vector<Command> pending_;
+  std::uint64_t pending_since_ns_ = 0;
+  std::uint64_t last_leader_activity_ns_ = 0;
+  std::uint64_t last_heartbeat_sent_ns_ = 0;
+
+  bool delivering_ = false;  // single-deliverer guard for try_deliver_locked
+
+  std::uint64_t last_gap_report_ns_ = 0;
+
+  // View-change state.
+  bool view_changing_ = false;
+  std::uint64_t target_view_ = 0;
+  std::map<int, ViewChangeMsg> view_change_msgs_;  // by replica index
+
+  std::thread timer_;
+  std::condition_variable timer_cv_;
+  bool stopping_ = false;
+  std::atomic<bool> started_{false};
+};
+
+}  // namespace psmr

@@ -1,0 +1,139 @@
+// Byte-level wire format: bounded reader / writer with little-endian
+// fixed-width integers and LEB128 varints.
+//
+// Used for service checkpoints (snapshot/restore during state transfer) and
+// for the command/message codecs in command_codec.h — i.e., everything that
+// would cross a real wire crosses these encoders, so replacing the
+// in-process SimNetwork with a socket transport is a transport swap, not a
+// redesign.
+//
+// Reader is fully defensive: every get_* checks bounds and latches a failure
+// flag instead of reading out of bounds, so arbitrary (malicious or
+// corrupted) input can never crash a decoder — decoders check ok() at the
+// end.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace psmr {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { bytes_.push_back(v); }
+
+  void put_u16(std::uint16_t v) { put_fixed(v); }
+  void put_u32(std::uint32_t v) { put_fixed(v); }
+  void put_u64(std::uint64_t v) { put_fixed(v); }
+
+  // LEB128: 1 byte for values < 128, up to 10 bytes for 64-bit.
+  void put_varint(std::uint64_t v) {
+    while (v >= 0x80) {
+      bytes_.push_back(static_cast<std::uint8_t>(v) | 0x80);
+      v >>= 7;
+    }
+    bytes_.push_back(static_cast<std::uint8_t>(v));
+  }
+
+  void put_bytes(std::span<const std::uint8_t> data) {
+    put_varint(data.size());
+    bytes_.insert(bytes_.end(), data.begin(), data.end());
+  }
+
+  void put_string(const std::string& s) {
+    put_varint(s.size());
+    bytes_.insert(bytes_.end(), s.begin(), s.end());
+  }
+
+  std::size_t size() const { return bytes_.size(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::vector<std::uint8_t> take() { return std::move(bytes_); }
+
+ private:
+  template <typename T>
+  void put_fixed(T v) {
+    std::uint8_t raw[sizeof(T)];
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      raw[i] = static_cast<std::uint8_t>(v >> (8 * i));
+    }
+    bytes_.insert(bytes_.end(), raw, raw + sizeof(T));
+  }
+
+  std::vector<std::uint8_t> bytes_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8() { return get_fixed<std::uint8_t>(); }
+  std::uint16_t get_u16() { return get_fixed<std::uint16_t>(); }
+  std::uint32_t get_u32() { return get_fixed<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_fixed<std::uint64_t>(); }
+
+  std::uint64_t get_varint() {
+    std::uint64_t value = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= data_.size() || shift > 63) {
+        failed_ = true;
+        return 0;
+      }
+      const std::uint8_t byte = data_[pos_++];
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return value;
+      shift += 7;
+    }
+  }
+
+  std::vector<std::uint8_t> get_bytes() {
+    const std::uint64_t n = get_varint();
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<long>(pos_),
+                                  data_.begin() + static_cast<long>(pos_ + n));
+    pos_ += n;
+    return out;
+  }
+
+  std::string get_string() {
+    const std::uint64_t n = get_varint();
+    if (failed_ || n > remaining()) {
+      failed_ = true;
+      return {};
+    }
+    std::string out(reinterpret_cast<const char*>(data_.data()) + pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool ok() const { return !failed_; }
+  bool at_end() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T get_fixed() {
+    if (remaining() < sizeof(T)) {
+      failed_ = true;
+      return T{};
+    }
+    T v{};
+    for (std::size_t i = 0; i < sizeof(T); ++i) {
+      v = static_cast<T>(v | (static_cast<T>(data_[pos_ + i]) << (8 * i)));
+    }
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace psmr

@@ -1,0 +1,30 @@
+// Wire codecs for commands and for the atomic-broadcast protocol messages.
+//
+// The in-process SimNetwork ships shared_ptr messages, so these codecs are
+// not on its hot path; they define the portable wire format used by
+// checkpoints/state transfer and by any real-socket transport. Every
+// decoder tolerates arbitrary input (returns false instead of crashing).
+#pragma once
+
+#include <optional>
+
+#include "broadcast/messages.h"
+#include "codec/codec.h"
+#include "cos/command.h"
+
+namespace psmr {
+
+void encode_command(const Command& c, ByteWriter& out);
+bool decode_command(ByteReader& in, Command* out);
+
+// Batch helpers (length-prefixed).
+void encode_commands(const std::vector<Command>& cmds, ByteWriter& out);
+bool decode_commands(ByteReader& in, std::vector<Command>* out);
+
+// Protocol messages: encodes the type tag followed by the payload, so a
+// stream decoder can dispatch. Returns nullptr / false for unknown tags or
+// malformed payloads.
+void encode_message(const Message& m, ByteWriter& out);
+MessagePtr decode_message(std::span<const std::uint8_t> bytes);
+
+}  // namespace psmr

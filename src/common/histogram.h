@@ -1,0 +1,102 @@
+// Log-bucketed latency histogram and throughput accounting.
+//
+// HdrHistogram-style: values are bucketed with ~1.5% relative precision,
+// which is plenty for the latency-vs-throughput curves of Fig. 6 while
+// keeping record() allocation-free and O(1).
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <cstddef>
+#include <string>
+
+namespace psmr {
+
+class Histogram {
+ public:
+  // Covers [0, 2^40) nanoseconds (~18 minutes) with 64 sub-buckets per
+  // power of two.
+  static constexpr int kSubBits = 6;
+  static constexpr int kSubBuckets = 1 << kSubBits;
+  static constexpr int kMaxExp = 40;
+  static constexpr std::size_t kBucketCount =
+      static_cast<std::size_t>(kMaxExp) * kSubBuckets;
+
+  void record(std::uint64_t value_ns) {
+    counts_[index_of(value_ns)]++;
+    total_count_++;
+    total_sum_ += value_ns;
+    max_ = std::max(max_, value_ns);
+    min_ = std::min(min_, value_ns);
+  }
+
+  // Merges another histogram into this one (used to aggregate per-thread
+  // recorders without sharing cache lines during measurement).
+  void merge(const Histogram& other) {
+    for (std::size_t i = 0; i < kBucketCount; ++i) counts_[i] += other.counts_[i];
+    total_count_ += other.total_count_;
+    total_sum_ += other.total_sum_;
+    max_ = std::max(max_, other.max_);
+    min_ = std::min(min_, other.min_);
+  }
+
+  std::uint64_t count() const { return total_count_; }
+  std::uint64_t max() const { return total_count_ ? max_ : 0; }
+  std::uint64_t min() const { return total_count_ ? min_ : 0; }
+
+  double mean() const {
+    return total_count_ ? static_cast<double>(total_sum_) /
+                              static_cast<double>(total_count_)
+                        : 0.0;
+  }
+
+  // p in [0, 100]. Returns a representative value (upper bound of bucket).
+  std::uint64_t percentile(double p) const {
+    if (total_count_ == 0) return 0;
+    const auto target = static_cast<std::uint64_t>(
+        p / 100.0 * static_cast<double>(total_count_) + 0.5);
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+      seen += counts_[i];
+      if (seen >= target) return upper_bound_of(i);
+    }
+    return max_;
+  }
+
+  void reset() {
+    counts_.fill(0);
+    total_count_ = 0;
+    total_sum_ = 0;
+    max_ = 0;
+    min_ = ~0ull;
+  }
+
+ private:
+  static std::size_t index_of(std::uint64_t v) {
+    if (v < kSubBuckets) return static_cast<std::size_t>(v);
+    const int exp = 63 - std::countl_zero(v);  // exp >= kSubBits
+    const int shift = exp - kSubBits;
+    const auto sub = static_cast<std::size_t>((v >> shift) & (kSubBuckets - 1));
+    std::size_t bucket = static_cast<std::size_t>(exp - kSubBits + 1);
+    if (bucket >= kMaxExp) bucket = kMaxExp - 1;
+    return bucket * kSubBuckets + sub;
+  }
+
+  static std::uint64_t upper_bound_of(std::size_t index) {
+    const std::size_t bucket = index / kSubBuckets;
+    const std::uint64_t sub = index % kSubBuckets;
+    if (bucket == 0) return sub;
+    const int shift = static_cast<int>(bucket) - 1;
+    return ((kSubBuckets + sub + 1) << shift) - 1;
+  }
+
+  std::array<std::uint64_t, kBucketCount> counts_{};
+  std::uint64_t total_count_ = 0;
+  std::uint64_t total_sum_ = 0;
+  std::uint64_t max_ = 0;
+  std::uint64_t min_ = ~0ull;
+};
+
+}  // namespace psmr

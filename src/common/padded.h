@@ -1,0 +1,27 @@
+// Cache-line padding helpers.
+//
+// Per-worker counters and the lock-free node state live on hot paths; false
+// sharing between them would distort exactly the contention effects the
+// benchmarks measure, so anything indexed per-thread is padded.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace psmr {
+
+// 64 bytes on every mainstream x86/ARM server part; fixed rather than
+// std::hardware_destructive_interference_size so the ABI does not shift
+// with compiler flags.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+template <typename T>
+struct alignas(kCacheLineSize) Padded {
+  T value{};
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace psmr

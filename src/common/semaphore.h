@@ -1,0 +1,85 @@
+// Counting semaphore with close() semantics.
+//
+// The paper's blocking layer (Alg. 5) uses two counting semaphores, `space`
+// and `ready`, to park the scheduler when the dependency graph is full and to
+// park worker threads when no command is ready. A plain counting semaphore
+// has no way to wake parked threads at shutdown, so this one adds close():
+// after close(), every pending and future acquire() returns false instead of
+// blocking, which lets COS implementations drain their worker pools cleanly.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <mutex>
+
+namespace psmr {
+
+class Semaphore {
+ public:
+  explicit Semaphore(std::ptrdiff_t initial = 0) : count_(initial) {}
+
+  Semaphore(const Semaphore&) = delete;
+  Semaphore& operator=(const Semaphore&) = delete;
+
+  // Blocks until a permit is available or the semaphore is closed.
+  // Returns true if a permit was consumed, false if closed (close is
+  // immediate: remaining permits are not drained).
+  bool acquire() {
+    std::unique_lock lock(mu_);
+    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    if (closed_) return false;
+    --count_;
+    return true;
+  }
+
+  // Non-blocking acquire. Returns true iff a permit was consumed.
+  bool try_acquire() {
+    std::lock_guard lock(mu_);
+    if (count_ > 0 && !closed_) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void release(std::ptrdiff_t n = 1) {
+    if (n <= 0) return;
+    {
+      std::lock_guard lock(mu_);
+      count_ += n;
+    }
+    if (n == 1) {
+      cv_.notify_one();
+    } else {
+      cv_.notify_all();
+    }
+  }
+
+  // Wakes all waiters; subsequent acquire() calls return false once the
+  // permit count reaches zero. Idempotent.
+  void close() {
+    {
+      std::lock_guard lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard lock(mu_);
+    return closed_;
+  }
+
+  std::ptrdiff_t available() const {
+    std::lock_guard lock(mu_);
+    return count_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::ptrdiff_t count_;
+  bool closed_ = false;
+};
+
+}  // namespace psmr

@@ -1,0 +1,77 @@
+// Bounded single-producer/single-consumer lock-free ring buffer.
+//
+// Utility for single-producer/single-consumer hand-offs (e.g., a socket
+// reader feeding a replica scheduler when the simulated network is replaced
+// by a real transport). The in-process replica currently uses the blocking
+// queue for its delivery path because it also needs close() semantics and
+// unbounded control batches.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/padded.h"
+
+namespace psmr {
+
+template <typename T>
+class SpscRing {
+ public:
+  // Capacity is rounded up to a power of two.
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 1;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  // Producer side. Returns false when full.
+  bool try_push(T item) {
+    const std::size_t head = head_.value.load(std::memory_order_relaxed);
+    const std::size_t tail = tail_cache_;
+    if (head - tail > mask_) {
+      tail_cache_ = tail_.value.load(std::memory_order_acquire);
+      if (head - tail_cache_ > mask_) return false;
+    }
+    slots_[head & mask_] = std::move(item);
+    head_.value.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns nullopt when empty.
+  std::optional<T> try_pop() {
+    const std::size_t tail = tail_.value.load(std::memory_order_relaxed);
+    if (tail == head_cache_) {
+      head_cache_ = head_.value.load(std::memory_order_acquire);
+      if (tail == head_cache_) return std::nullopt;
+    }
+    T item = std::move(slots_[tail & mask_]);
+    tail_.value.store(tail + 1, std::memory_order_release);
+    return item;
+  }
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Approximate; exact only when quiesced.
+  std::size_t size() const {
+    return head_.value.load(std::memory_order_acquire) -
+           tail_.value.load(std::memory_order_acquire);
+  }
+
+ private:
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+  Padded<std::atomic<std::size_t>> head_{};  // producer writes
+  Padded<std::atomic<std::size_t>> tail_{};  // consumer writes
+  // Producer-local / consumer-local cached views of the opposite index.
+  alignas(kCacheLineSize) std::size_t tail_cache_ = 0;
+  alignas(kCacheLineSize) std::size_t head_cache_ = 0;
+};
+
+}  // namespace psmr

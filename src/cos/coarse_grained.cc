@@ -1,0 +1,76 @@
+#include "cos/coarse_grained.h"
+
+namespace psmr {
+
+CoarseGrainedCos::CoarseGrainedCos(std::size_t max_size, ConflictFn conflict)
+    : max_size_(max_size), conflict_(conflict) {}
+
+CoarseGrainedCos::~CoarseGrainedCos() { close(); }
+
+bool CoarseGrainedCos::insert(const Command& c) {
+  std::unique_lock lock(mu_);
+  not_full_.wait(lock, [&] { return nodes_.size() < max_size_ || closed_; });
+  if (closed_) return false;
+
+  nodes_.emplace_back(c);
+  auto it = std::prev(nodes_.end());
+  it->self = it;
+  Node& added = *it;
+
+  // Alg. 2 lines 14-16: every older conflicting command must run first.
+  for (auto node = nodes_.begin(); node != it; ++node) {
+    if (conflict_(node->cmd, c)) {
+      node->out.push_back(&added);
+      ++added.pending_in;
+    }
+  }
+  if (added.pending_in == 0) has_ready_.notify_one();
+  return true;
+}
+
+CosHandle CoarseGrainedCos::get() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (closed_) return {};
+    // Alg. 2 line 22-26: oldest waiting node with no dependencies.
+    for (Node& node : nodes_) {
+      if (!node.executing && node.pending_in == 0) {
+        node.executing = true;
+        return {&node.cmd, &node};
+      }
+    }
+    has_ready_.wait(lock);
+  }
+}
+
+void CoarseGrainedCos::remove(CosHandle h) {
+  auto* node = static_cast<Node*>(h.node);
+  std::lock_guard lock(mu_);
+  int freed = 0;
+  for (Node* dependent : node->out) {
+    if (--dependent->pending_in == 0 && !dependent->executing) ++freed;
+  }
+  if (freed == 1) {
+    has_ready_.notify_one();
+  } else if (freed > 1) {
+    has_ready_.notify_all();
+  }
+  nodes_.erase(node->self);
+  not_full_.notify_one();
+}
+
+void CoarseGrainedCos::close() {
+  {
+    std::lock_guard lock(mu_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  has_ready_.notify_all();
+}
+
+std::size_t CoarseGrainedCos::approx_size() const {
+  std::lock_guard lock(mu_);
+  return nodes_.size();
+}
+
+}  // namespace psmr

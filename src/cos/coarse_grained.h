@@ -1,0 +1,58 @@
+// Coarse-grained DAG — the paper's Algorithm 2 (the CBASE approach).
+//
+// One monitor (a single mutex plus two condition variables) protects the
+// entire dependency graph; every COS primitive runs as a critical section.
+// This is the baseline whose serialization the fine-grained and lock-free
+// implementations attack.
+//
+// Representation: nodes in delivery order (intrusive via std::list), each
+// node holding its pending-dependency count and the outgoing edge list. The
+// insert scan is O(|N|) conflict checks and get() is an O(|N|) scan for the
+// oldest ready node, exactly as in the paper's pseudocode.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <vector>
+
+#include "cos/cos.h"
+
+namespace psmr {
+
+class CoarseGrainedCos final : public Cos {
+ public:
+  CoarseGrainedCos(std::size_t max_size, ConflictFn conflict);
+  ~CoarseGrainedCos() override;
+
+  bool insert(const Command& c) override;
+  CosHandle get() override;
+  void remove(CosHandle h) override;
+  void close() override;
+
+  std::size_t capacity() const override { return max_size_; }
+  std::size_t approx_size() const override;
+  const char* name() const override { return "coarse-grained"; }
+
+ private:
+  struct Node {
+    explicit Node(const Command& command) : cmd(command) {}
+    Command cmd;
+    bool executing = false;
+    int pending_in = 0;               // number of unresolved dependencies
+    std::vector<Node*> out;           // later nodes that depend on this one
+    std::list<Node>::iterator self;   // for O(1) erase in remove()
+  };
+
+  const std::size_t max_size_;
+  const ConflictFn conflict_;
+
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;   // "nFull" in the paper
+  std::condition_variable has_ready_;  // "hasReady" in the paper
+  std::list<Node> nodes_;              // delivery order
+  bool closed_ = false;
+};
+
+}  // namespace psmr

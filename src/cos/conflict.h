@@ -1,0 +1,40 @@
+// Conflict relations (#C in the paper, §3.3).
+//
+// Two commands conflict if they access a common variable and at least one
+// writes it. The relation is a plain function pointer so the hot path of all
+// three COS implementations pays one indirect call per pair, identically.
+#pragma once
+
+#include "cos/command.h"
+
+namespace psmr {
+
+using ConflictFn = bool (*)(const Command&, const Command&);
+
+// The paper's linked-list service: the entire list is a single shared
+// variable, so reads (contains) never conflict with each other, and writes
+// (add) conflict with everything.
+inline bool rw_conflict(const Command& a, const Command& b) {
+  return is_write(a) || is_write(b);
+}
+
+// Keyset-based relation: conflict iff the key sets intersect and at least
+// one command writes. Used by the KV and bank services, where commands name
+// the state they touch.
+inline bool keyset_rw_conflict(const Command& a, const Command& b) {
+  if (!is_write(a) && !is_write(b)) return false;
+  for (std::uint8_t i = 0; i < a.nkeys; ++i) {
+    for (std::uint8_t j = 0; j < b.nkeys; ++j) {
+      if (a.keys[i] == b.keys[j]) return true;
+    }
+  }
+  return false;
+}
+
+// Degenerate relations, useful in tests and as workload extremes: the
+// always-conflict relation forces sequential execution; the never-conflict
+// relation allows unlimited parallelism.
+inline bool always_conflict(const Command&, const Command&) { return true; }
+inline bool never_conflict(const Command&, const Command&) { return false; }
+
+}  // namespace psmr

@@ -1,0 +1,54 @@
+#include "cos/factory.h"
+
+#include "cos/coarse_grained.h"
+#include "cos/fine_grained.h"
+#include "cos/lock_free.h"
+#include "cos/striped.h"
+
+namespace psmr {
+
+std::unique_ptr<Cos> make_cos(CosKind kind, std::size_t max_size,
+                              ConflictFn conflict) {
+  switch (kind) {
+    case CosKind::kCoarseGrained:
+      return std::make_unique<CoarseGrainedCos>(max_size, conflict);
+    case CosKind::kFineGrained:
+      return std::make_unique<FineGrainedCos>(max_size, conflict);
+    case CosKind::kLockFree:
+      return std::make_unique<LockFreeCos>(max_size, conflict);
+    case CosKind::kStriped:
+      return std::make_unique<StripedCos>(max_size, conflict);
+  }
+  return nullptr;
+}
+
+bool parse_cos_kind(std::string_view name, CosKind* out) {
+  if (name == "coarse-grained" || name == "coarse") {
+    *out = CosKind::kCoarseGrained;
+  } else if (name == "fine-grained" || name == "fine") {
+    *out = CosKind::kFineGrained;
+  } else if (name == "lock-free" || name == "lockfree") {
+    *out = CosKind::kLockFree;
+  } else if (name == "striped") {
+    *out = CosKind::kStriped;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* cos_kind_name(CosKind kind) {
+  switch (kind) {
+    case CosKind::kCoarseGrained:
+      return "coarse-grained";
+    case CosKind::kFineGrained:
+      return "fine-grained";
+    case CosKind::kLockFree:
+      return "lock-free";
+    case CosKind::kStriped:
+      return "striped";
+  }
+  return "?";
+}
+
+}  // namespace psmr

@@ -1,0 +1,31 @@
+// Construction of COS implementations by name/enum — used by the drivers,
+// benchmarks and examples to sweep all three techniques uniformly.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "cos/cos.h"
+
+namespace psmr {
+
+enum class CosKind {
+  kCoarseGrained,  // Alg. 2 (CBASE-style monitor)
+  kFineGrained,    // Algs. 3-4 (lock coupling)
+  kLockFree,       // Algs. 5-7 (nonblocking + lazy removal)
+  kStriped,        // extension: segment locks (§7.3.2's granularity remark)
+};
+
+// The paper fixes the dependency graph at 150 node slots for all techniques.
+inline constexpr std::size_t kPaperGraphSize = 150;
+
+std::unique_ptr<Cos> make_cos(CosKind kind, std::size_t max_size,
+                              ConflictFn conflict);
+
+// Parses "coarse-grained" / "fine-grained" / "lock-free" (also accepts
+// "coarse", "fine", "lockfree"). Returns false on unknown names.
+bool parse_cos_kind(std::string_view name, CosKind* out);
+
+const char* cos_kind_name(CosKind kind);
+
+}  // namespace psmr

@@ -1,0 +1,141 @@
+#include "cos/fine_grained.h"
+
+#include <thread>
+
+namespace psmr {
+
+FineGrainedCos::FineGrainedCos(std::size_t max_size, ConflictFn conflict)
+    : max_size_(max_size),
+      conflict_(conflict),
+      space_(static_cast<std::ptrdiff_t>(max_size)),
+      ready_(0) {}
+
+FineGrainedCos::~FineGrainedCos() {
+  close();
+  // Reclaim whatever is still linked. Workers must have stopped by now
+  // (close() unblocked them), so no locks are needed.
+  Node* node = head_.next;
+  while (node != nullptr) {
+    Node* next = node->next;
+    delete node;
+    node = next;
+  }
+}
+
+bool FineGrainedCos::insert(const Command& c) {
+  if (!space_.acquire()) return false;  // closed
+
+  // The new node is locked for the whole traversal (Alg. 4 line 4); it is
+  // unreachable until linked, so this never contends.
+  auto* added = new Node(c);
+  std::unique_lock added_lock(added->mx);
+
+  // Hand-over-hand walk: `prev` is always locked; lock `cur` before
+  // releasing `prev` so no operation can overtake us.
+  Node* prev = &head_;
+  std::unique_lock prev_lock(prev->mx);
+  Node* cur = prev->next;
+  while (cur != nullptr) {
+    std::unique_lock cur_lock(cur->mx);
+    if (conflict_(cur->cmd, c)) {
+      cur->out.insert(added);
+      ++added->in_count;
+    }
+    prev_lock.swap(cur_lock);  // release prev, keep cur
+    prev = cur;
+    cur = cur->next;
+  }
+  // `prev` is the last node (or the head sentinel) and is still locked;
+  // linking here makes the node visible with all its edges in place.
+  prev->next = added;
+  population_.fetch_add(1, std::memory_order_relaxed);
+  const bool is_ready = added->in_count == 0;
+  prev_lock.unlock();
+  added_lock.unlock();
+  if (is_ready) ready_.release();
+  return true;
+}
+
+CosHandle FineGrainedCos::get() {
+  if (!ready_.acquire()) return {};  // closed
+  while (true) {
+    // The permit guarantees a ready node exists *somewhere*; it may be
+    // behind us by the time we pass it (another thread's remove() can free
+    // nodes anywhere in the list), so on reaching the end we restart.
+    Node* prev = &head_;
+    std::unique_lock prev_lock(prev->mx);
+    Node* cur = prev->next;
+    while (cur != nullptr) {
+      std::unique_lock cur_lock(cur->mx);
+      if (!cur->executing && cur->in_count == 0) {
+        cur->executing = true;
+        return {&cur->cmd, cur};
+      }
+      prev_lock.swap(cur_lock);
+      prev = cur;
+      cur = cur->next;
+    }
+    prev_lock.unlock();
+    if (closed_.load(std::memory_order_acquire)) return {};
+    std::this_thread::yield();
+  }
+}
+
+void FineGrainedCos::remove(CosHandle h) {
+  auto* node = static_cast<Node*>(h.node);
+
+  // Phase 1: hand-over-hand to node's predecessor, then unlink node while
+  // holding both. After this, no traversal can reach `node`.
+  Node* prev = &head_;
+  std::unique_lock prev_lock(prev->mx);
+  while (prev->next != node) {
+    Node* cur = prev->next;
+    std::unique_lock cur_lock(cur->mx);
+    prev_lock.swap(cur_lock);
+    prev = cur;
+  }
+  std::unique_lock node_lock(node->mx);
+  prev->next = node->next;
+  Node* successor = node->next;
+  // Lock the successor *before* releasing prev: a thread may only wait on
+  // (or delete) a node while holding its list predecessor, which for the
+  // successor is `prev` once node is unlinked — holding prev here is what
+  // keeps the successor alive until we own its lock.
+  std::unique_lock<std::mutex> walk_lock;
+  if (successor != nullptr) {
+    walk_lock = std::unique_lock(successor->mx);
+  }
+  prev_lock.unlock();
+
+  // Phase 2: still holding node's lock (so its edge set is stable), walk the
+  // successors hand-over-hand and delete outgoing edges, counting nodes that
+  // became ready (Alg. 4 lines 32-39).
+  int freed = 0;
+  if (successor != nullptr) {
+    Node* walk = successor;
+    while (true) {
+      if (node->out.contains(walk)) {
+        if (--walk->in_count == 0 && !walk->executing) ++freed;
+      }
+      Node* next = walk->next;
+      if (next == nullptr) break;
+      std::unique_lock next_lock(next->mx);
+      walk_lock.swap(next_lock);
+      walk = next;
+    }
+  }
+
+  node_lock.unlock();
+  delete node;
+  population_.fetch_sub(1, std::memory_order_relaxed);
+  ready_.release(freed);
+  space_.release();
+}
+
+void FineGrainedCos::close() {
+  closed_.store(true, std::memory_order_release);
+  space_.close();
+  ready_.close();
+}
+
+}  // namespace psmr

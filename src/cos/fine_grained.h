@@ -1,0 +1,76 @@
+// Fine-grained DAG — the paper's Algorithms 3 and 4.
+//
+// Each graph node carries its own mutex; operations traverse the
+// delivery-ordered node list with hand-over-hand locking (lock coupling):
+// lock the successor before unlocking the current node, so traversals cannot
+// overtake one another and the first node in delivery order serializes
+// operations while disjoint suffixes proceed concurrently. Two counting
+// semaphores implement the blocking conditions (graph full / nothing ready),
+// as in Algorithm 3.
+//
+// Deviations from the pseudocode, both necessary in a real implementation
+// and documented in DESIGN.md:
+//  - get() restarts from the head when it reaches the end of the list
+//    without finding a ready node (a node behind the traversal cursor may
+//    have become ready after the cursor passed it; the pseudocode leaves
+//    this case implicit).
+//  - remove(n) first unlinks n (holding its predecessor and n), then keeps
+//    n locked while walking its successors to delete outgoing edges. The
+//    pseudocode keeps n linked until the end; unlinking first is equivalent
+//    (no traversal can reach n once unlinked) and keeps the lock order
+//    acyclic.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <mutex>
+#include <unordered_set>
+
+#include "common/semaphore.h"
+#include "cos/cos.h"
+
+namespace psmr {
+
+class FineGrainedCos final : public Cos {
+ public:
+  FineGrainedCos(std::size_t max_size, ConflictFn conflict);
+  ~FineGrainedCos() override;
+
+  bool insert(const Command& c) override;
+  CosHandle get() override;
+  void remove(CosHandle h) override;
+  void close() override;
+
+  std::size_t capacity() const override { return max_size_; }
+  std::size_t approx_size() const override {
+    return population_.load(std::memory_order_relaxed);
+  }
+  const char* name() const override { return "fine-grained"; }
+
+ private:
+  struct Node {
+    explicit Node(const Command& command) : cmd(command) {}
+    Node() = default;  // head sentinel
+
+    Command cmd{};
+    std::mutex mx;
+    // All fields below are guarded by `mx`, except `out`, which is guarded
+    // by the *owning* node's mx (edges from this node are added/queried only
+    // while this node is locked).
+    bool executing = false;
+    int in_count = 0;
+    std::unordered_set<Node*> out;  // later nodes depending on this one
+    Node* next = nullptr;
+  };
+
+  const std::size_t max_size_;
+  const ConflictFn conflict_;
+
+  Semaphore space_;
+  Semaphore ready_;
+  Node head_;  // sentinel; head_.next guarded by head_.mx
+  std::atomic<std::size_t> population_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace psmr

@@ -1,0 +1,330 @@
+#include "cos/lock_free.h"
+
+#include <thread>
+
+namespace psmr {
+
+LockFreeCos::Node::~Node() { delete[] dep_me.load(std::memory_order_relaxed); }
+
+LockFreeCos::LockFreeCos(std::size_t max_size, ConflictFn conflict,
+                         LockFreeReclaim reclaim)
+    : max_size_(max_size),
+      conflict_(conflict),
+      reclaim_(reclaim),
+      space_(static_cast<std::ptrdiff_t>(max_size)),
+      ready_(0) {}
+
+LockFreeCos::~LockFreeCos() {
+  close();
+  // Workers are gone by contract once close() returned and they drained;
+  // free whatever is still linked, then let the EBR domain drain its limbo
+  // lists (its destructor would too, but doing it here keeps the node count
+  // stats coherent before members die).
+  Node* node = head_.load(std::memory_order_acquire);
+  while (node != nullptr) {
+    Node* next = node->nxt.load(std::memory_order_acquire);
+    delete node;
+    node = next;
+  }
+  for (Node* leaked : leaked_) delete leaked;
+  ebr_.drain_all_unsafe();
+}
+
+// ---------------------------------------------------------------------------
+// Blocking layer (Alg. 5).
+// ---------------------------------------------------------------------------
+
+bool LockFreeCos::insert(const Command& c) {
+  if (!space_.acquire()) return false;  // closed
+  const int ready_nodes = lf_insert(c);
+  ready_.release(ready_nodes);
+  return true;
+}
+
+bool LockFreeCos::insert_batch(std::span<const Command> batch) {
+  // Chunk by capacity so the space acquisition can always complete.
+  while (!batch.empty()) {
+    const std::size_t take = std::min(batch.size(), max_size_);
+    for (std::size_t i = 0; i < take; ++i) {
+      if (!space_.acquire()) return false;  // closed
+    }
+    const int ready_nodes = lf_insert_batch(batch.first(take));
+    ready_.release(ready_nodes);
+    batch = batch.subspan(take);
+  }
+  return true;
+}
+
+CosHandle LockFreeCos::get() {
+  if (!ready_.acquire()) return {};  // closed
+  Node* node = lf_get();
+  if (node == nullptr) return {};  // closed while searching
+  return {&node->cmd, node};
+}
+
+void LockFreeCos::remove(CosHandle h) {
+  auto* node = static_cast<Node*>(h.node);
+  const int ready_nodes = lf_remove(node);
+  ready_.release(ready_nodes);
+  space_.release();
+}
+
+void LockFreeCos::close() {
+  closed_.store(true, std::memory_order_release);
+  space_.close();
+  ready_.close();
+}
+
+// ---------------------------------------------------------------------------
+// Lock-free layer (Alg. 7).
+// ---------------------------------------------------------------------------
+
+// Returns 1 iff this call transitioned `n` from wtg to rdy.
+//
+// Correctness of the permit accounting hinges on two points:
+//  (1) Exactly one caller wins the wtg -> rdy CAS, so a node is counted at
+//      most once across the concurrent test_ready calls made by the insert
+//      thread (end of lf_insert) and by removers (via dep_me).
+//  (2) At least one caller's dependency check passes once the last
+//      dependency is logically removed. The st load below is seq_cst: a
+//      caller that observes st == wtg observes (happens-before) the node's
+//      complete dep_on set, and in the seq_cst total order either the
+//      inserter's final test_ready follows a dependency's rmd store (and
+//      sees it satisfied), or that dependency's remover snapshots dep_me
+//      after the node was appended (and tests it here).
+int LockFreeCos::test_ready(Node* n) {
+  if (n->st.load(std::memory_order_seq_cst) != kWtg) return 0;
+  for (std::size_t i = 0; i < n->dep_on_count; ++i) {
+    Node* dep = n->dep_on[i].load(std::memory_order_seq_cst);
+    if (dep != nullptr && dep->st.load(std::memory_order_seq_cst) != kRmd) {
+      return 0;  // a live dependency remains; its remover will re-test us
+    }
+  }
+  std::uint8_t expected = kWtg;
+  return n->st.compare_exchange_strong(expected, kRdy,
+                                       std::memory_order_seq_cst)
+             ? 1
+             : 0;
+}
+
+// Grows/publishes the dependent list of `node`. Insert thread only.
+void LockFreeCos::append_dependent(Node* node, Node* dependent) {
+  const std::size_t count =
+      node->dep_me_count.load(std::memory_order_relaxed);
+  if (count == node->dep_me_capacity) {
+    const std::size_t new_capacity =
+        node->dep_me_capacity == 0 ? 8 : node->dep_me_capacity * 2;
+    auto* bigger = new std::atomic<Node*>[new_capacity];
+    auto* old = node->dep_me.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < count; ++i) {
+      bigger[i].store(old[i].load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+    for (std::size_t i = count; i < new_capacity; ++i) {
+      bigger[i].store(nullptr, std::memory_order_relaxed);
+    }
+    // Publish the array before the count that makes new slots visible;
+    // concurrent readers that loaded the old array only index below the
+    // previously published count, which the old array still covers.
+    node->dep_me.store(bigger, std::memory_order_seq_cst);
+    node->dep_me_capacity = new_capacity;
+    if (old != nullptr) {
+      ebr_.retire_raw(old, [](void* p) {
+        delete[] static_cast<std::atomic<Node*>*>(p);
+      });
+    }
+  }
+  node->dep_me.load(std::memory_order_relaxed)[count].store(
+      dependent, std::memory_order_relaxed);
+  node->dep_me_count.store(count + 1, std::memory_order_seq_cst);
+}
+
+// Physically unlinks a logically removed node. Called only by the insert
+// thread (topology changes are sequential, §6.2.1): clears the edges from
+// `gone` out of its dependents' dep_on sets, bypasses it in the list, and
+// retires its memory to the epoch domain.
+void LockFreeCos::helped_remove(Node* gone, Node* prev) {
+  const std::size_t dependents =
+      gone->dep_me_count.load(std::memory_order_seq_cst);
+  std::atomic<Node*>* dep_me = gone->dep_me.load(std::memory_order_seq_cst);
+  for (std::size_t i = 0; i < dependents; ++i) {
+    Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+    // A dependent is always physically removed no earlier than `gone`
+    // itself (it cannot execute before gone is logically removed, and this
+    // walk helps nodes in list order), so writing its dep_on is safe.
+    for (std::size_t j = 0; j < dependent->dep_on_count; ++j) {
+      if (dependent->dep_on[j].load(std::memory_order_relaxed) == gone) {
+        dependent->dep_on[j].store(nullptr, std::memory_order_seq_cst);
+        break;
+      }
+    }
+  }
+  Node* next = gone->nxt.load(std::memory_order_seq_cst);
+  if (prev == nullptr) {
+    head_.store(next, std::memory_order_seq_cst);
+  } else {
+    prev->nxt.store(next, std::memory_order_seq_cst);
+  }
+  if (reclaim_ == LockFreeReclaim::kEpoch) {
+    ebr_.retire(gone);
+  } else {
+    // Leak mode (ablation): defer everything to the destructor — the
+    // cheapest possible hot path, standing in for "a GC that never runs".
+    leaked_.push_back(gone);
+  }
+}
+
+int LockFreeCos::lf_insert(const Command& c) {
+  auto* added = new Node(c);
+  auto guard = ebr_.pin();
+
+  scratch_deps_.clear();
+  Node* prev = nullptr;  // last node seen alive (still linked)
+  Node* cur = head_.load(std::memory_order_seq_cst);
+  while (cur != nullptr) {
+    Node* next = cur->nxt.load(std::memory_order_seq_cst);
+    if (cur->st.load(std::memory_order_seq_cst) == kRmd) {
+      helped_remove(cur, prev);
+      cur = next;
+      continue;
+    }
+    if (conflict_(cur->cmd, c)) {
+      // Record the edge on both endpoints. The dep_me append is published
+      // immediately (concurrent removers must learn about the dependent);
+      // the new node's own dep_on side stays private until after the walk.
+      // A remover that reaches `added` through dep_me before then bounces
+      // off the ins state in test_ready.
+      scratch_deps_.push_back(cur);
+      append_dependent(cur, added);
+    }
+    prev = cur;
+    cur = next;
+  }
+
+  // Materialize the exact-sized dependency array before publication.
+  added->dep_on_count = scratch_deps_.size();
+  if (!scratch_deps_.empty()) {
+    added->dep_on =
+        std::make_unique<std::atomic<Node*>[]>(scratch_deps_.size());
+    for (std::size_t i = 0; i < scratch_deps_.size(); ++i) {
+      added->dep_on[i].store(scratch_deps_[i], std::memory_order_relaxed);
+    }
+  }
+
+  // Publish: link at the tail, then open the node for readiness tests.
+  if (prev == nullptr) {
+    head_.store(added, std::memory_order_seq_cst);
+  } else {
+    prev->nxt.store(added, std::memory_order_seq_cst);
+  }
+  population_.fetch_add(1, std::memory_order_relaxed);
+  added->st.store(kWtg, std::memory_order_seq_cst);
+  return test_ready(added);
+}
+
+// Batch variant of lf_insert: one traversal discovers the edges from every
+// existing node to every command in the batch; intra-batch edges follow
+// from delivery order. Nodes are then published (and opened for readiness
+// tests) one by one, oldest first, preserving per-node invariants: a node's
+// dep_on set is complete before its ins -> wtg transition, and a dependent
+// recorded in an unpublished node's dep_me bounces off the ins state.
+int LockFreeCos::lf_insert_batch(std::span<const Command> batch) {
+  if (batch.empty()) return 0;
+  auto guard = ebr_.pin();
+
+  std::vector<Node*> added;
+  added.reserve(batch.size());
+  for (const Command& c : batch) added.push_back(new Node(c));
+  std::vector<std::vector<Node*>> deps(batch.size());
+
+  Node* prev = nullptr;
+  Node* cur = head_.load(std::memory_order_seq_cst);
+  while (cur != nullptr) {
+    Node* next = cur->nxt.load(std::memory_order_seq_cst);
+    if (cur->st.load(std::memory_order_seq_cst) == kRmd) {
+      helped_remove(cur, prev);
+      cur = next;
+      continue;
+    }
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (conflict_(cur->cmd, batch[i])) {
+        deps[i].push_back(cur);
+        append_dependent(cur, added[i]);
+      }
+    }
+    prev = cur;
+    cur = next;
+  }
+
+  // Intra-batch dependencies (batch order == delivery order).
+  for (std::size_t j = 1; j < batch.size(); ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      if (conflict_(batch[i], batch[j])) {
+        deps[j].push_back(added[i]);
+        append_dependent(added[i], added[j]);
+      }
+    }
+  }
+
+  int ready_nodes = 0;
+  for (std::size_t i = 0; i < batch.size(); ++i) {
+    Node* node = added[i];
+    node->dep_on_count = deps[i].size();
+    if (!deps[i].empty()) {
+      node->dep_on =
+          std::make_unique<std::atomic<Node*>[]>(deps[i].size());
+      for (std::size_t k = 0; k < deps[i].size(); ++k) {
+        node->dep_on[k].store(deps[i][k], std::memory_order_relaxed);
+      }
+    }
+    if (prev == nullptr) {
+      head_.store(node, std::memory_order_seq_cst);
+    } else {
+      prev->nxt.store(node, std::memory_order_seq_cst);
+    }
+    prev = node;
+    population_.fetch_add(1, std::memory_order_relaxed);
+    node->st.store(kWtg, std::memory_order_seq_cst);
+    ready_nodes += test_ready(node);
+  }
+  return ready_nodes;
+}
+
+LockFreeCos::Node* LockFreeCos::lf_get() {
+  while (true) {
+    {
+      auto guard = ebr_.pin();
+      Node* cur = head_.load(std::memory_order_seq_cst);
+      while (cur != nullptr) {
+        std::uint8_t expected = kRdy;
+        if (cur->st.compare_exchange_strong(expected, kExe,
+                                            std::memory_order_seq_cst)) {
+          return cur;
+        }
+        cur = cur->nxt.load(std::memory_order_seq_cst);
+      }
+    }
+    // Our permit's node is behind where the traversal already passed (some
+    // other get() may have taken the node we were signalled for, leaving a
+    // different, earlier node for us). Retry with a fresh pin.
+    if (closed_.load(std::memory_order_acquire)) return nullptr;
+    std::this_thread::yield();
+  }
+}
+
+int LockFreeCos::lf_remove(Node* n) {
+  auto guard = ebr_.pin();
+  n->st.store(kRmd, std::memory_order_seq_cst);  // logical removal
+  population_.fetch_sub(1, std::memory_order_relaxed);
+  int ready_nodes = 0;
+  const std::size_t dependents =
+      n->dep_me_count.load(std::memory_order_seq_cst);
+  std::atomic<Node*>* dep_me = n->dep_me.load(std::memory_order_seq_cst);
+  for (std::size_t i = 0; i < dependents; ++i) {
+    Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+    ready_nodes += test_ready(dependent);
+  }
+  return ready_nodes;
+}
+
+}  // namespace psmr

@@ -1,0 +1,137 @@
+// Lock-free DAG — the paper's Algorithms 5, 6 and 7.
+//
+// Two layers, as in §6:
+//  - A blocking layer of two counting semaphores handles the inherently
+//    blocking conditions: `space` parks insert() while the graph is full,
+//    `ready` parks get() while no command is ready (Alg. 5).
+//  - A lock-free layer implements the graph. Nodes carry an atomic state
+//    traversed in one direction (wtg -> rdy -> exe -> rmd); get() reserves a
+//    node with a single CAS (rdy -> exe); remove() is a *logical* removal
+//    (store rmd) plus readiness tests on dependents; *physical* removal is
+//    lazy, performed by the (single) insert thread when its traversal finds
+//    a logically removed node — the paper's helpedRemove.
+//
+// Memory reclamation: the paper runs on the JVM and leans on GC for
+// traversal safety. Here, every operation pins an epoch (memory/ebr.h) and
+// helpedRemove retires unlinked nodes to the epoch domain, which frees them
+// only after two epoch advances — i.e., when no pinned traversal can still
+// hold a reference. A leak mode (reclaim nothing until destruction) exists
+// for the reclamation ablation bench.
+//
+// Deviations from the pseudocode (documented in DESIGN.md):
+//  - Nodes are created in an extra state `ins` ("inserting") and switch to
+//    wtg only after the insert thread has recorded *all* dependency edges
+//    and linked the node. Without it, a concurrent lfRemove of an
+//    early-recorded dependency could observe the node with a partially
+//    built dep_on set and wrongly mark it ready (the paper notes the
+//    all-edges-before-visible requirement in §6.2 but createNode starts
+//    nodes at wtg, leaving the window open).
+//  - lfGet restarts from the head if it reaches the end of the list without
+//    reserving a node (its ready permit may correspond to a node behind the
+//    traversal cursor).
+//  - The atomics on the state/readiness handshake are seq_cst: the exact-
+//    once accounting of ready permits relies on the single total order (see
+//    the comment on test_ready).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/semaphore.h"
+#include "cos/cos.h"
+#include "memory/ebr.h"
+
+namespace psmr {
+
+enum class LockFreeReclaim : std::uint8_t {
+  kEpoch,  // retire unlinked nodes through the EBR domain (default)
+  kLeak,   // defer all frees to the destructor (ablation; mimics "GC later")
+};
+
+class LockFreeCos final : public Cos {
+ public:
+  LockFreeCos(std::size_t max_size, ConflictFn conflict,
+              LockFreeReclaim reclaim = LockFreeReclaim::kEpoch);
+  ~LockFreeCos() override;
+
+  bool insert(const Command& c) override;
+  bool insert_batch(std::span<const Command> batch) override;
+  CosHandle get() override;
+  void remove(CosHandle h) override;
+  void close() override;
+
+  std::size_t capacity() const override { return max_size_; }
+  std::size_t approx_size() const override {
+    return population_.load(std::memory_order_relaxed);
+  }
+  const char* name() const override { return "lock-free"; }
+
+  // Reclamation statistics, for tests and the ablation bench.
+  std::uint64_t nodes_reclaimed() const { return ebr_.total_freed(); }
+  std::size_t nodes_pending_reclaim() const {
+    return ebr_.retired_pending() + leaked_.size();
+  }
+
+ private:
+  enum State : std::uint8_t { kIns = 0, kWtg = 1, kRdy = 2, kExe = 3, kRmd = 4 };
+
+  struct Node {
+    explicit Node(const Command& command) : cmd(command) {}
+    ~Node();
+
+    Command cmd;
+    std::atomic<std::uint8_t> st{kIns};
+
+    // Dependencies of this node (edges from older nodes). Sized exactly and
+    // written by the insert thread before the node leaves state ins;
+    // afterwards entries are only *cleared* (to nullptr, by the insert
+    // thread during helpedRemove of the dependency). `dep_on_count` is
+    // plain: it is final before the ins -> wtg transition that readers must
+    // observe first.
+    std::unique_ptr<std::atomic<Node*>[]> dep_on;
+    std::size_t dep_on_count = 0;
+
+    // Dependents of this node (edges to newer nodes). Append-only,
+    // written only by the insert thread, read concurrently by removers:
+    // a growable array published via atomic pointer + count. Readers load
+    // the count first, then the array — a newer (larger) array always
+    // contains every entry a previously published count covers, and
+    // superseded arrays are retired through the COS's epoch domain while
+    // readers may still hold them.
+    std::atomic<std::atomic<Node*>*> dep_me{nullptr};
+    std::atomic<std::size_t> dep_me_count{0};
+    std::size_t dep_me_capacity = 0;  // insert thread only
+
+    std::atomic<Node*> nxt{nullptr};
+  };
+
+  // Lock-free layer (Alg. 7). Return values are the number of nodes that
+  // became ready, to be published as `ready` permits by the blocking layer.
+  int lf_insert(const Command& c);
+  int lf_insert_batch(std::span<const Command> batch);
+  Node* lf_get();
+  int lf_remove(Node* n);
+
+  static int test_ready(Node* n);
+  void helped_remove(Node* gone, Node* prev);
+  void append_dependent(Node* node, Node* dependent);
+
+  const std::size_t max_size_;
+  const ConflictFn conflict_;
+  const LockFreeReclaim reclaim_;
+
+  Semaphore space_;
+  Semaphore ready_;
+  std::atomic<Node*> head_{nullptr};
+  std::atomic<std::size_t> population_{0};
+  std::atomic<bool> closed_{false};
+
+  mutable EbrDomain ebr_;
+  std::vector<Node*> leaked_;        // kLeak mode: inserter only
+  std::vector<Node*> scratch_deps_;  // insert-walk scratch: inserter only
+};
+
+}  // namespace psmr

@@ -1,0 +1,171 @@
+#include "cos/striped.h"
+
+#include <thread>
+
+namespace psmr {
+
+StripedCos::StripedCos(std::size_t max_size, ConflictFn conflict,
+                       std::size_t segment_width)
+    : max_size_(max_size),
+      conflict_(conflict),
+      segment_width_(segment_width == 0 ? 1 : segment_width),
+      space_(static_cast<std::ptrdiff_t>(max_size)),
+      ready_(0),
+      head_(0) {}
+
+StripedCos::~StripedCos() {
+  close();
+  Segment* segment = head_.next;
+  while (segment != nullptr) {
+    Segment* next = segment->next;
+    delete segment;
+    segment = next;
+  }
+}
+
+bool StripedCos::insert(const Command& c) {
+  if (!space_.acquire()) return false;  // closed
+
+  // Reserve the slot in the tail segment (inserts are single-threaded, so
+  // the tail is stable for the duration of the call). The slot stays
+  // unpublished (not counted in `used`) until the scan completes.
+  Segment* tail = &head_;
+  {
+    // Walk to the tail without locks: `next` pointers are only changed by
+    // this same thread (appends and dead-segment unlinking both happen on
+    // the insert path).
+    while (tail->next != nullptr) tail = tail->next;
+    std::lock_guard tail_lock(tail->mx);
+    if (tail == &head_ || tail->used == tail->nodes.size()) {
+      auto* fresh = new Segment(segment_width_);
+      tail->next = fresh;
+      tail = fresh;
+    }
+  }
+  Node* added = nullptr;
+  {
+    std::lock_guard tail_lock(tail->mx);
+    added = &tail->nodes[tail->used];
+    added->cmd = c;
+    added->segment = tail;
+  }
+
+  // Conflict scan: couple segment locks from the head; record edges from
+  // every live conflicting node. The dependent-side counter lives in the
+  // (still unpublished) slot and is guarded by the tail's mutex, which
+  // removers also take to decrement it.
+  Segment* prev = &head_;
+  std::unique_lock prev_lock(prev->mx);
+  Segment* cur = prev->next;
+  while (cur != nullptr) {
+    std::unique_lock cur_lock(cur->mx);
+    // Reclaim fully dead segments in passing (only the insert thread
+    // relinks, and nobody can be waiting on `cur`: waiting requires
+    // holding `prev`, which we hold). The tail is kept even when dead —
+    // it is this insert's append target.
+    if (cur != tail && cur->live == 0 && cur->used == cur->nodes.size()) {
+      prev->next = cur->next;
+      cur_lock.unlock();
+      delete cur;
+      cur = prev->next;
+      continue;
+    }
+    for (std::size_t i = 0; i < cur->used; ++i) {
+      Node& node = cur->nodes[i];
+      if (node.removed || &node == added) continue;
+      if (conflict_(node.cmd, c)) {
+        node.out.push_back(added);
+        if (cur == tail) {
+          ++added->in_count;  // tail lock is already held
+        } else {
+          std::lock_guard tail_lock(tail->mx);
+          ++added->in_count;
+        }
+      }
+    }
+    prev_lock.swap(cur_lock);
+    prev = cur;
+    cur = cur->next;
+  }
+  prev_lock.unlock();
+
+  // Publish and test readiness under the tail lock — the same lock a
+  // remover holds when its decrement reaches zero, so exactly one side
+  // observes the ready transition.
+  bool is_ready = false;
+  {
+    std::lock_guard tail_lock(tail->mx);
+    ++tail->used;
+    ++tail->live;
+    is_ready = added->in_count == 0;
+  }
+  population_.fetch_add(1, std::memory_order_relaxed);
+  if (is_ready) ready_.release();
+  return true;
+}
+
+CosHandle StripedCos::get() {
+  if (!ready_.acquire()) return {};  // closed
+  while (true) {
+    Segment* prev = &head_;
+    std::unique_lock prev_lock(prev->mx);
+    Segment* cur = prev->next;
+    while (cur != nullptr) {
+      std::unique_lock cur_lock(cur->mx);
+      for (std::size_t i = 0; i < cur->used; ++i) {
+        Node& node = cur->nodes[i];
+        if (!node.removed && !node.executing && node.in_count == 0) {
+          node.executing = true;
+          return {&node.cmd, &node};
+        }
+      }
+      prev_lock.swap(cur_lock);
+      prev = cur;
+      cur = cur->next;
+    }
+    prev_lock.unlock();
+    if (closed_.load(std::memory_order_acquire)) return {};
+    std::this_thread::yield();
+  }
+}
+
+void StripedCos::remove(CosHandle h) {
+  auto* node = static_cast<Node*>(h.node);
+
+  // Tombstone the node and snapshot its dependents under its own segment's
+  // lock. The insert scan checks `removed` under this same lock before
+  // recording an edge, so the snapshot is complete: any later edge can only
+  // be added to a node the inserter saw alive, i.e., before this point.
+  std::vector<Node*> dependents;
+  {
+    std::lock_guard lock(node->segment->mx);
+    node->removed = true;
+    --node->segment->live;
+    dependents.swap(node->out);
+  }
+
+  // Release dependents. One lock at a time (never while holding another),
+  // so the direct jumps cannot deadlock with coupled traversals. A
+  // dependent still carrying our edge cannot have executed, so its segment
+  // is alive.
+  int freed = 0;
+  for (Node* dependent : dependents) {
+    std::lock_guard lock(dependent->segment->mx);
+    if (--dependent->in_count == 0 && !dependent->executing &&
+        published_in_segment(*dependent)) {
+      ++freed;
+    }
+  }
+
+  population_.fetch_sub(1, std::memory_order_relaxed);
+  ready_.release(freed);
+  space_.release();
+}
+
+void StripedCos::close() {
+  closed_.store(true, std::memory_order_release);
+  space_.close();
+  ready_.close();
+}
+
+}  // namespace psmr

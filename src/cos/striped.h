@@ -1,0 +1,102 @@
+// Striped (segment-locked) DAG — the paper's suggested middle point on the
+// "lock granularity spectrum" (§7.3.2: "one could experiment with other
+// granularities of locks (e.g., granular locks), trading concurrency for
+// overhead").
+//
+// The delivery-ordered node list is chopped into fixed-width segments, each
+// with its own mutex. Traversals (insert scan, get scan, remove's
+// dependent-update walk) couple *segment* locks instead of node locks —
+// 1/width of the fine-grained handoffs — and, unlike the fine-grained
+// remove which must walk the list from the head to find its node, remove
+// here jumps directly to the node's segment (nodes carry a segment
+// back-pointer) and only walks the suffix. Coarse-grained is the width→∞
+// end of this spectrum and fine-grained the width=1 end.
+//
+// Locking rules (same shape as the fine-grained proofs, at segment
+// granularity):
+//  - A node's fields are guarded by its segment's mutex.
+//  - A traversal may only block on segment S while holding S's predecessor
+//    (lock coupling), so the insert scan cannot be overtaken: a remover
+//    that tombstones node a after the inserter recorded edge a->new will
+//    reach the tail only after the new node was linked, and therefore
+//    always finds the dependent it must release.
+//  - remove's direct jump takes a single segment lock (never two
+//    out-of-order), so it cannot deadlock with couplers; its target segment
+//    cannot be freed because it still holds a live (executing) node.
+//  - Fully dead segments are unlinked by the insert scan while holding the
+//    predecessor and the dead segment (nobody can be waiting on it —
+//    waiting requires holding that same predecessor), then freed.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/semaphore.h"
+#include "cos/cos.h"
+
+namespace psmr {
+
+class StripedCos final : public Cos {
+ public:
+  StripedCos(std::size_t max_size, ConflictFn conflict,
+             std::size_t segment_width = 16);
+  ~StripedCos() override;
+
+  bool insert(const Command& c) override;
+  CosHandle get() override;
+  void remove(CosHandle h) override;
+  void close() override;
+
+  std::size_t capacity() const override { return max_size_; }
+  std::size_t approx_size() const override {
+    return population_.load(std::memory_order_relaxed);
+  }
+  const char* name() const override { return "striped"; }
+
+  std::size_t segment_width() const { return segment_width_; }
+
+ private:
+  struct Segment;
+
+  struct Node {
+    Command cmd;
+    Segment* segment = nullptr;  // fixed at insertion
+    bool executing = false;
+    bool removed = false;
+    int in_count = 0;
+    std::vector<Node*> out;  // later nodes depending on this one
+  };
+
+  struct Segment {
+    explicit Segment(std::size_t width) : nodes(width) {}
+    std::mutex mx;
+    // Slots fill monotonically; `used` only grows, `live` falls to zero
+    // when every node has been removed. All guarded by mx.
+    std::vector<Node> nodes;
+    std::size_t used = 0;
+    std::size_t live = 0;
+    Segment* next = nullptr;
+  };
+
+  // True iff the node's slot has been published (counted in `used`).
+  // Caller must hold the node's segment mutex.
+  static bool published_in_segment(const Node& node) {
+    return static_cast<std::size_t>(&node - node.segment->nodes.data()) <
+           node.segment->used;
+  }
+
+  const std::size_t max_size_;
+  const ConflictFn conflict_;
+  const std::size_t segment_width_;
+
+  Semaphore space_;
+  Semaphore ready_;
+  Segment head_;  // sentinel (width 0), never freed
+  std::atomic<std::size_t> population_{0};
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace psmr

@@ -1,0 +1,144 @@
+#include "memory/ebr.h"
+
+#include <cassert>
+
+namespace psmr {
+namespace {
+
+std::atomic<std::uint64_t> g_next_domain_id{1};
+
+// Thread-local registration cache. Domain ids are never reused, so a stale
+// entry for a destroyed domain can never be looked up again.
+struct CacheEntry {
+  std::uint64_t domain_id;
+  void* rec;
+};
+thread_local std::vector<CacheEntry> t_cache;
+
+}  // namespace
+
+EbrDomain::EbrDomain()
+    : id_(g_next_domain_id.fetch_add(1, std::memory_order_relaxed)),
+      recs_(std::make_unique<ThreadRec[]>(kMaxThreads)) {
+  global_epoch_.value.store(1, std::memory_order_relaxed);
+  total_freed_.value.store(0, std::memory_order_relaxed);
+}
+
+EbrDomain::~EbrDomain() { drain_all_unsafe(); }
+
+EbrDomain::ThreadRec* EbrDomain::rec_for_current_thread() {
+  for (const auto& entry : t_cache) {
+    if (entry.domain_id == id_) return static_cast<ThreadRec*>(entry.rec);
+  }
+  // Slow path: claim a fresh slot.
+  for (std::size_t i = 0; i < kMaxThreads; ++i) {
+    bool expected = false;
+    if (recs_[i].used.compare_exchange_strong(expected, true,
+                                              std::memory_order_acq_rel)) {
+      std::size_t hw = high_water_.load(std::memory_order_relaxed);
+      while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                               hw, i + 1, std::memory_order_acq_rel)) {
+      }
+      t_cache.push_back({id_, &recs_[i]});
+      return &recs_[i];
+    }
+  }
+  assert(false && "EbrDomain: more than kMaxThreads registered");
+  return nullptr;
+}
+
+EbrDomain::Guard EbrDomain::pin() {
+  ThreadRec* rec = rec_for_current_thread();
+  std::uint64_t e;
+  // Publish our pinned epoch and re-validate: if the global epoch moved
+  // between the read and the store, re-publish. This guarantees that once
+  // try_advance() observes every slot at epoch E (or idle), no thread is
+  // still pinned below E.
+  do {
+    e = global_epoch_.value.load(std::memory_order_seq_cst);
+    rec->epoch.value.store(e, std::memory_order_seq_cst);
+  } while (global_epoch_.value.load(std::memory_order_seq_cst) != e);
+  return Guard(&rec->epoch.value);
+}
+
+void EbrDomain::retire_raw(void* ptr, void (*deleter)(void*)) {
+  ThreadRec* rec = rec_for_current_thread();
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
+  {
+    std::lock_guard lock(rec->limbo_mu);
+    rec->limbo.push_back({ptr, deleter, e});
+  }
+  // Amortize advancement attempts.
+  if (rec->limbo.size() % 64 == 0) {
+    try_advance();
+    reclaim(*rec);
+  }
+}
+
+bool EbrDomain::try_advance() {
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  for (std::size_t i = 0; i < hw; ++i) {
+    const std::uint64_t v = recs_[i].epoch.value.load(std::memory_order_seq_cst);
+    if (v != kIdle && v < e) return false;  // a thread is pinned behind
+  }
+  std::uint64_t expected = e;
+  global_epoch_.value.compare_exchange_strong(expected, e + 1,
+                                              std::memory_order_seq_cst);
+  return true;
+}
+
+std::size_t EbrDomain::reclaim(ThreadRec& rec) {
+  const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
+  std::size_t freed = 0;
+  std::lock_guard lock(rec.limbo_mu);
+  auto& limbo = rec.limbo;
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < limbo.size(); ++i) {
+    // A node retired in epoch r was unreachable before any thread could pin
+    // epoch r+1; once the global epoch is r+2, every thread pinned at r or
+    // earlier has unpinned, so the node is free to go.
+    if (limbo[i].epoch + 2 <= e) {
+      limbo[i].deleter(limbo[i].ptr);
+      ++freed;
+    } else {
+      limbo[keep++] = limbo[i];
+    }
+  }
+  limbo.resize(keep);
+  total_freed_.value.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+std::size_t EbrDomain::flush() {
+  ThreadRec* rec = rec_for_current_thread();
+  try_advance();
+  try_advance();
+  return reclaim(*rec);
+}
+
+void EbrDomain::drain_all_unsafe() {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  std::size_t freed = 0;
+  for (std::size_t i = 0; i < hw; ++i) {
+    std::lock_guard lock(recs_[i].limbo_mu);
+    for (const auto& retired : recs_[i].limbo) {
+      retired.deleter(retired.ptr);
+      ++freed;
+    }
+    recs_[i].limbo.clear();
+  }
+  total_freed_.value.fetch_add(freed, std::memory_order_relaxed);
+}
+
+std::size_t EbrDomain::retired_pending() const {
+  const std::size_t hw = high_water_.load(std::memory_order_acquire);
+  std::size_t pending = 0;
+  for (std::size_t i = 0; i < hw; ++i) {
+    std::lock_guard lock(recs_[i].limbo_mu);
+    pending += recs_[i].limbo.size();
+  }
+  return pending;
+}
+
+}  // namespace psmr

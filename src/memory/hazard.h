@@ -1,0 +1,208 @@
+// Hazard pointers (Michael, 2004).
+//
+// Included as the classical alternative to EBR for the reclamation ablation
+// bench (`bench/ablation_reclaim`) and as a reusable component of the memory
+// library. The lock-free COS itself uses EBR: its testReady path follows
+// dep_on back-edges from a node to arbitrary predecessors, which under hazard
+// pointers would require a validate-after-protect step against a structure
+// that has no stable "reachability witness" for back-edges — a pin-based
+// scheme matches the algorithm's GC-style argument directly, while hazard
+// pointers match pointer-chasing structures like stacks and queues.
+//
+// Usage pattern:
+//   HazardDomain<2> dom;           // 2 hazard slots per thread
+//   auto h = dom.hazards();        // thread-local slot set
+//   T* p = h.protect(0, head);     // loads head until stable, protects it
+//   ... dereference p ...
+//   h.clear();
+//   dom.retire(old);               // deferred delete once unprotected
+#pragma once
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/padded.h"
+
+namespace psmr {
+
+template <std::size_t kSlotsPerThread = 2>
+class HazardDomain {
+ private:
+  struct Retired {
+    void* ptr;
+    void (*deleter)(void*);
+  };
+
+  struct Rec {
+    Padded<std::atomic<void*>> slots[kSlotsPerThread];
+    std::atomic<bool> used{false};
+    std::vector<Retired> limbo;  // touched only by owning thread...
+    std::mutex limbo_mu;         // ...except at drain_all_unsafe
+  };
+
+ public:
+  static constexpr std::size_t kMaxThreads = 256;
+  static constexpr std::size_t kScanThreshold = 64;
+
+  HazardDomain() : id_(next_domain_id().fetch_add(1)) {}
+  ~HazardDomain() { drain_all_unsafe(); }
+
+  HazardDomain(const HazardDomain&) = delete;
+  HazardDomain& operator=(const HazardDomain&) = delete;
+
+  class ThreadHazards {
+   public:
+    // Protects the value currently in `src` against reclamation: publishes
+    // it to slot `i`, then re-reads `src` until the published value is the
+    // live one. Returns the protected pointer (may be nullptr).
+    template <typename T>
+    T* protect(std::size_t i, const std::atomic<T*>& src) {
+      T* p = src.load(std::memory_order_acquire);
+      while (true) {
+        rec_->slots[i].value.store(static_cast<void*>(p),
+                                   std::memory_order_seq_cst);
+        T* q = src.load(std::memory_order_seq_cst);
+        if (q == p) return p;
+        p = q;
+      }
+    }
+
+    // Publishes an already-loaded pointer. Caller must re-validate that the
+    // pointer is still reachable after this returns.
+    void set(std::size_t i, void* p) {
+      rec_->slots[i].value.store(p, std::memory_order_seq_cst);
+    }
+
+    void clear(std::size_t i) {
+      rec_->slots[i].value.store(nullptr, std::memory_order_release);
+    }
+
+    void clear() {
+      for (std::size_t i = 0; i < kSlotsPerThread; ++i) clear(i);
+    }
+
+   private:
+    friend class HazardDomain;
+    explicit ThreadHazards(Rec* rec) : rec_(rec) {}
+    Rec* rec_;
+  };
+
+  // Returns (registering if needed) the calling thread's hazard slots.
+  ThreadHazards hazards() { return ThreadHazards(rec_for_current_thread()); }
+
+  // Defers deletion until no thread holds a hazard on `node`.
+  template <typename T>
+  void retire(T* node) {
+    retire_raw(node, [](void* p) { delete static_cast<T*>(p); });
+  }
+
+  void retire_raw(void* ptr, void (*deleter)(void*)) {
+    Rec* rec = rec_for_current_thread();
+    {
+      std::lock_guard lock(rec->limbo_mu);
+      rec->limbo.push_back({ptr, deleter});
+    }
+    if (rec->limbo.size() >= kScanThreshold) scan(*rec);
+  }
+
+  // Scans hazards and frees every retired object not currently protected.
+  // Returns the number of objects freed.
+  std::size_t scan() { return scan(*rec_for_current_thread()); }
+
+  std::size_t retired_pending() const {
+    const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    std::size_t pending = 0;
+    for (std::size_t i = 0; i < hw; ++i) {
+      std::lock_guard lock(recs_[i].limbo_mu);
+      pending += recs_[i].limbo.size();
+    }
+    return pending;
+  }
+
+  std::uint64_t total_freed() const {
+    return total_freed_.load(std::memory_order_relaxed);
+  }
+
+  // Frees everything unconditionally. Caller must guarantee no hazards are
+  // held and no further retires happen.
+  void drain_all_unsafe() {
+    const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    for (std::size_t i = 0; i < hw; ++i) {
+      std::lock_guard lock(recs_[i].limbo_mu);
+      for (const auto& r : recs_[i].limbo) r.deleter(r.ptr);
+      total_freed_.fetch_add(recs_[i].limbo.size(), std::memory_order_relaxed);
+      recs_[i].limbo.clear();
+    }
+  }
+
+ private:
+  // Domain ids are process-unique and never reused, so a stale cache entry
+  // for a destroyed domain can never be looked up again (keying by `this`
+  // would alias a new domain constructed at a recycled address).
+  static std::atomic<std::uint64_t>& next_domain_id() {
+    static std::atomic<std::uint64_t> counter{1};
+    return counter;
+  }
+
+  Rec* rec_for_current_thread() {
+    thread_local std::vector<std::pair<std::uint64_t, Rec*>> cache;
+    for (const auto& [dom, rec] : cache) {
+      if (dom == id_) return rec;
+    }
+    for (std::size_t i = 0; i < kMaxThreads; ++i) {
+      bool expected = false;
+      if (recs_[i].used.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+        std::size_t hw = high_water_.load(std::memory_order_relaxed);
+        while (hw < i + 1 && !high_water_.compare_exchange_weak(
+                                 hw, i + 1, std::memory_order_acq_rel)) {
+        }
+        cache.emplace_back(id_, &recs_[i]);
+        return &recs_[i];
+      }
+    }
+    return nullptr;  // unreachable in practice; kMaxThreads exceeded
+  }
+
+  std::size_t scan(Rec& rec) {
+    // Snapshot all live hazards.
+    std::vector<void*> protected_ptrs;
+    const std::size_t hw = high_water_.load(std::memory_order_acquire);
+    protected_ptrs.reserve(hw * kSlotsPerThread);
+    for (std::size_t i = 0; i < hw; ++i) {
+      for (std::size_t s = 0; s < kSlotsPerThread; ++s) {
+        void* p = recs_[i].slots[s].value.load(std::memory_order_seq_cst);
+        if (p != nullptr) protected_ptrs.push_back(p);
+      }
+    }
+    std::sort(protected_ptrs.begin(), protected_ptrs.end());
+
+    std::lock_guard lock(rec.limbo_mu);
+    std::size_t keep = 0;
+    std::size_t freed = 0;
+    for (std::size_t i = 0; i < rec.limbo.size(); ++i) {
+      if (std::binary_search(protected_ptrs.begin(), protected_ptrs.end(),
+                             rec.limbo[i].ptr)) {
+        rec.limbo[keep++] = rec.limbo[i];
+      } else {
+        rec.limbo[i].deleter(rec.limbo[i].ptr);
+        ++freed;
+      }
+    }
+    rec.limbo.resize(keep);
+    total_freed_.fetch_add(freed, std::memory_order_relaxed);
+    return freed;
+  }
+
+  const std::uint64_t id_;
+  Rec recs_[kMaxThreads];
+  std::atomic<std::size_t> high_water_{0};
+  std::atomic<std::uint64_t> total_freed_{0};
+};
+
+}  // namespace psmr

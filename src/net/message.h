@@ -1,0 +1,37 @@
+// Base message type carried by the simulated network.
+//
+// Concrete protocol messages (broadcast/messages.h, smr/client.h) derive
+// from Message and are routed by the integer type tag — the in-process
+// equivalent of a wire-format discriminator, without serialization cost.
+#pragma once
+
+#include <memory>
+
+namespace psmr {
+
+using NodeId = int;
+
+struct Message {
+  explicit Message(int type_tag) : type(type_tag) {}
+  virtual ~Message() = default;
+
+  Message(const Message&) = default;
+  Message& operator=(const Message&) = delete;
+
+  const int type;
+};
+
+using MessagePtr = std::shared_ptr<const Message>;
+
+template <typename T, typename... Args>
+MessagePtr make_message(Args&&... args) {
+  return std::make_shared<const T>(std::forward<Args>(args)...);
+}
+
+// Downcast helper; callers must have checked `type` first.
+template <typename T>
+const T& message_as(const MessagePtr& m) {
+  return static_cast<const T&>(*m);
+}
+
+}  // namespace psmr

@@ -1,0 +1,142 @@
+#include "net/sim_network.h"
+
+#include <algorithm>
+
+#include "common/stopwatch.h"
+
+namespace psmr {
+
+SimNetwork::SimNetwork(Config config)
+    : config_(config), rng_(config.seed) {
+  delivery_thread_ = std::thread([this] { delivery_loop(); });
+}
+
+SimNetwork::~SimNetwork() { shutdown(); }
+
+NodeId SimNetwork::add_endpoint(Handler handler) {
+  std::lock_guard lock(mu_);
+  const NodeId id = static_cast<NodeId>(endpoints_.size());
+  auto endpoint = std::make_unique<Endpoint>();
+  endpoint->handler = std::move(handler);
+  Endpoint* raw = endpoint.get();
+  endpoint->dispatcher = std::thread([raw] {
+    while (auto item = raw->inbox.pop()) {
+      raw->handler(item->first, std::move(item->second));
+    }
+  });
+  endpoints_.push_back(std::move(endpoint));
+  return id;
+}
+
+void SimNetwork::send(NodeId from, NodeId to, MessagePtr msg) {
+  std::lock_guard lock(mu_);
+  if (stopping_) return;
+  const auto n = static_cast<NodeId>(endpoints_.size());
+  if (to < 0 || to >= n || from < 0 || from >= n) return;
+  if (endpoints_[static_cast<std::size_t>(from)]->crashed.load(
+          std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (config_.drop_rate > 0.0 && rng_.uniform() < config_.drop_rate) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t latency_ns =
+      (config_.base_latency_us +
+       (config_.jitter_us > 0 ? rng_.below(config_.jitter_us) : 0)) *
+      1000ull;
+  std::uint64_t deliver_at = now_ns() + latency_ns;
+  // Enforce per-link FIFO: never schedule before an earlier message on the
+  // same link.
+  auto& last = last_delivery_[{from, to}];
+  deliver_at = std::max(deliver_at, last + 1);
+  last = deliver_at;
+  queue_.push({deliver_at, next_sequence_++, from, to, std::move(msg)});
+  cv_.notify_one();
+}
+
+bool SimNetwork::link_up_locked(NodeId a, NodeId b) const {
+  const auto key = std::minmax(a, b);
+  return !cut_links_.contains({key.first, key.second});
+}
+
+void SimNetwork::set_link(NodeId a, NodeId b, bool up) {
+  std::lock_guard lock(mu_);
+  const auto key = std::minmax(a, b);
+  if (up) {
+    cut_links_.erase({key.first, key.second});
+  } else {
+    cut_links_.insert({key.first, key.second});
+  }
+}
+
+void SimNetwork::crash(NodeId node) {
+  Endpoint* endpoint = nullptr;
+  {
+    std::lock_guard lock(mu_);
+    if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return;
+    endpoint = endpoints_[static_cast<std::size_t>(node)].get();
+    endpoint->crashed.store(true, std::memory_order_relaxed);
+  }
+  endpoint->inbox.close();
+}
+
+bool SimNetwork::crashed(NodeId node) const {
+  std::lock_guard lock(mu_);
+  if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return true;
+  return endpoints_[static_cast<std::size_t>(node)]->crashed.load(
+      std::memory_order_relaxed);
+}
+
+void SimNetwork::delivery_loop() {
+  std::unique_lock lock(mu_);
+  while (true) {
+    if (stopping_) return;
+    if (queue_.empty()) {
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      continue;
+    }
+    const std::uint64_t now = now_ns();
+    const InFlight& next = queue_.top();
+    if (next.deliver_at_ns > now) {
+      cv_.wait_for(lock,
+                   std::chrono::nanoseconds(next.deliver_at_ns - now));
+      continue;
+    }
+    InFlight item = queue_.top();
+    queue_.pop();
+    Endpoint& to = *endpoints_[static_cast<std::size_t>(item.to)];
+    const bool deliverable =
+        !to.crashed.load(std::memory_order_relaxed) &&
+        !endpoints_[static_cast<std::size_t>(item.from)]->crashed.load(
+            std::memory_order_relaxed) &&
+        link_up_locked(item.from, item.to);
+    if (deliverable) {
+      // Push outside the lock would be nicer, but the inbox push never
+      // blocks (unbounded queue), so holding mu_ here is bounded.
+      to.inbox.push({item.from, std::move(item.msg)});
+      delivered_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void SimNetwork::shutdown() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (delivery_thread_.joinable()) delivery_thread_.join();
+  for (auto& endpoint : endpoints_) {
+    endpoint->inbox.close();
+  }
+  for (auto& endpoint : endpoints_) {
+    if (endpoint->dispatcher.joinable()) endpoint->dispatcher.join();
+  }
+}
+
+}  // namespace psmr

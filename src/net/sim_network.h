@@ -1,0 +1,123 @@
+// In-process simulated cluster network.
+//
+// Substitute for the paper's 7-machine 1 Gbps switched LAN: endpoints are
+// in-process actors; send() stamps each message with a delivery time (base
+// latency + seeded jitter), a delivery thread releases messages in time
+// order, and a per-endpoint dispatcher thread runs the endpoint's handler
+// sequentially (one message at a time per endpoint, like a socket read
+// loop).
+//
+// Link semantics are TCP-like, matching what BFT-SMaRt assumes: reliable
+// and FIFO per (from, to) pair, unless a fault is injected — links can be
+// cut (partition) and endpoints crashed, which silently drops traffic, and
+// a probabilistic drop rate exists for network-level tests.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/blocking_queue.h"
+#include "common/rng.h"
+#include "net/message.h"
+
+namespace psmr {
+
+struct SimNetworkConfig {
+  std::uint64_t base_latency_us = 100;  // one-way
+  std::uint64_t jitter_us = 50;         // uniform [0, jitter)
+  double drop_rate = 0.0;               // applied per message
+  std::uint64_t seed = 1;
+};
+
+class SimNetwork {
+ public:
+  using Config = SimNetworkConfig;
+
+  using Handler = std::function<void(NodeId from, MessagePtr msg)>;
+
+  explicit SimNetwork(Config config = Config());
+  ~SimNetwork();
+
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
+
+  // Registers an endpoint; its handler runs on a dedicated dispatcher
+  // thread, one message at a time. Must be called before traffic flows to
+  // the endpoint. Thread-safe.
+  NodeId add_endpoint(Handler handler);
+
+  // Asynchronous, thread-safe. Self-sends are allowed.
+  void send(NodeId from, NodeId to, MessagePtr msg);
+
+  // Fault injection: cut or restore the (bidirectional) link between a and
+  // b. Messages in flight on a cut link are dropped at delivery time.
+  void set_link(NodeId a, NodeId b, bool up);
+
+  // Crashes an endpoint: all of its inbound and outbound traffic is dropped
+  // from now on (in-flight included). Its dispatcher drains and stops.
+  void crash(NodeId node);
+  bool crashed(NodeId node) const;
+
+  // Statistics.
+  std::uint64_t messages_delivered() const {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t messages_dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  // Stops all threads. Called by the destructor; idempotent.
+  void shutdown();
+
+ private:
+  struct InFlight {
+    std::uint64_t deliver_at_ns;
+    std::uint64_t sequence;  // tie-break, preserves send order
+    NodeId from;
+    NodeId to;
+    MessagePtr msg;
+    bool operator>(const InFlight& other) const {
+      return deliver_at_ns != other.deliver_at_ns
+                 ? deliver_at_ns > other.deliver_at_ns
+                 : sequence > other.sequence;
+    }
+  };
+
+  struct Endpoint {
+    Handler handler;
+    BlockingQueue<std::pair<NodeId, MessagePtr>> inbox;
+    std::thread dispatcher;
+    std::atomic<bool> crashed{false};
+  };
+
+  bool link_up_locked(NodeId a, NodeId b) const;
+  void delivery_loop();
+
+  const Config config_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> last_delivery_;  // FIFO
+  std::set<std::pair<NodeId, NodeId>> cut_links_;
+  Xoshiro256 rng_;
+  std::uint64_t next_sequence_ = 0;
+  bool stopping_ = false;
+
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+  std::thread delivery_thread_;
+
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace psmr

@@ -1,0 +1,7 @@
+// Intentionally (nearly) empty: the DES engine is header-only; this
+// translation unit pins the library target and catches ODR issues early.
+#include "sim/des.h"
+
+namespace psmr::sim {
+// Nothing to define; see des.h.
+}  // namespace psmr::sim

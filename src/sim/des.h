@@ -1,0 +1,179 @@
+// Minimal discrete-event simulation (DES) engine with virtual time.
+//
+// Why this exists: the paper's headline result is *scalability* — linear
+// speedup of the lock-free scheduler up to 64 worker threads on a 64-core
+// machine. The reproduction host may have far fewer cores (the reference
+// run has one), where real threads time-slice and no algorithm can speed
+// up. The DES models P cores and the synchronization structure of each
+// algorithm in virtual time, with cost constants calibrated from
+// microbenchmarks of the real implementations (bench/micro_cos), so the
+// figures' shapes can be reproduced at the paper's scale. See DESIGN.md §3.
+//
+// Programming model: continuation-passing. A "process" is a chain of
+// callbacks; blocking primitives (semaphore, FIFO mutex, core pool) take
+// the continuation to run once the resource is granted. Determinism: ties
+// are broken by insertion sequence and there is no wall-clock anywhere.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <utility>
+#include <vector>
+
+namespace psmr::sim {
+
+using Task = std::function<void()>;
+using VirtualNs = std::uint64_t;
+
+class Des {
+ public:
+  VirtualNs now() const { return now_; }
+
+  void at(VirtualNs time, Task task) {
+    events_.push(Event{time, next_sequence_++, std::move(task)});
+  }
+
+  void after(VirtualNs delay, Task task) { at(now_ + delay, std::move(task)); }
+
+  // Runs one event; returns false when the queue is empty.
+  bool step() {
+    if (events_.empty()) return false;
+    Event event = std::move(const_cast<Event&>(events_.top()));
+    events_.pop();
+    now_ = event.time;
+    event.task();
+    return true;
+  }
+
+  // Runs events until virtual time exceeds `end` (events at exactly `end`
+  // still run) or the queue empties.
+  void run_until(VirtualNs end) {
+    while (!events_.empty() && events_.top().time <= end) step();
+    if (now_ < end) now_ = end;
+  }
+
+  std::size_t pending_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    VirtualNs time;
+    std::uint64_t sequence;
+    Task task;
+    bool operator>(const Event& other) const {
+      return time != other.time ? time > other.time
+                                : sequence > other.sequence;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  VirtualNs now_ = 0;
+  std::uint64_t next_sequence_ = 0;
+};
+
+// Counting semaphore: acquire() parks the continuation until a permit is
+// available (FIFO).
+class SimSemaphore {
+ public:
+  SimSemaphore(Des& des, std::int64_t initial) : des_(des), count_(initial) {}
+
+  void acquire(Task continuation) {
+    if (count_ > 0) {
+      --count_;
+      des_.after(0, std::move(continuation));
+    } else {
+      waiters_.push_back(std::move(continuation));
+    }
+  }
+
+  bool try_acquire() {
+    if (count_ > 0 && waiters_.empty()) {
+      --count_;
+      return true;
+    }
+    return false;
+  }
+
+  void release(std::int64_t n = 1) {
+    while (n > 0 && !waiters_.empty()) {
+      Task waiter = std::move(waiters_.front());
+      waiters_.pop_front();
+      des_.after(0, std::move(waiter));
+      --n;
+    }
+    count_ += n;
+  }
+
+  std::int64_t available() const { return count_; }
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Des& des_;
+  std::int64_t count_;
+  std::deque<Task> waiters_;
+};
+
+// FIFO mutex modeling a sleeping (futex-style) lock: an acquisition that
+// finds the mutex busy pays `handoff_ns` of wake-up latency when it is
+// finally granted — the convoy effect that dominates contended monitors.
+// Uncontended acquisitions are free.
+class SimMutex {
+ public:
+  explicit SimMutex(Des& des, VirtualNs handoff_ns = 0)
+      : des_(des), handoff_ns_(handoff_ns) {}
+
+  void acquire(Task continuation) {
+    if (!busy_) {
+      busy_ = true;
+      des_.after(0, std::move(continuation));
+    } else {
+      waiters_.push_back(std::move(continuation));
+    }
+  }
+
+  void release() {
+    if (waiters_.empty()) {
+      busy_ = false;
+      return;
+    }
+    Task next = std::move(waiters_.front());
+    waiters_.pop_front();
+    des_.after(handoff_ns_, std::move(next));  // stays busy through handoff
+  }
+
+  std::size_t waiting() const { return waiters_.size(); }
+
+ private:
+  Des& des_;
+  const VirtualNs handoff_ns_;
+  bool busy_ = false;
+  std::deque<Task> waiters_;
+};
+
+// A pool of P cores. burst() occupies one core for `duration` of virtual
+// time, then runs the continuation (still conceptually on-CPU; the caller
+// chains bursts). Threads blocked on semaphores hold no core, like real
+// threads sleeping in a futex.
+class SimCores {
+ public:
+  SimCores(Des& des, int cores) : des_(des), free_(des, cores) {}
+
+  void burst(VirtualNs duration, Task continuation) {
+    free_.acquire([this, duration, k = std::move(continuation)]() mutable {
+      des_.after(duration, [this, k = std::move(k)]() mutable {
+        free_.release();
+        k();
+      });
+    });
+  }
+
+  // Accumulated busy time can be derived by the caller; the pool itself
+  // stays minimal.
+
+ private:
+  Des& des_;
+  SimSemaphore free_;
+};
+
+}  // namespace psmr::sim

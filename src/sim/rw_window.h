@@ -1,0 +1,107 @@
+// Exact model of the COS contents under the readers/writers conflict
+// relation — the semantic core of the discrete-event simulator, and also
+// usable as a reference model ("oracle") in tests: any handout order a real
+// COS implementation produces must be permitted by this window.
+//
+// Semantics (matching rw_conflict): a read is ready iff no *older* write is
+// present; a write is ready iff it is the oldest present command. Entries
+// are identified by their absolute insertion index.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/des.h"
+
+namespace psmr::sim {
+
+class RwWindow {
+ public:
+  struct Cmd {
+    bool is_write = false;
+    int client = -1;  // -1 in standalone mode
+    VirtualNs issued_ns = 0;
+  };
+
+  // Inserts at the tail; returns 1 if the new command is immediately ready
+  // (inserting can never free anyone else).
+  int insert(const Cmd& cmd) {
+    const bool ready = cmd.is_write ? present_ == 0 : present_writes_ == 0;
+    entries_.push_back({cmd, ready ? kReady : kWaiting});
+    ++present_;
+    if (cmd.is_write) ++present_writes_;
+    if (ready) ready_queue_.push_back(base_ + entries_.size() - 1);
+    return ready ? 1 : 0;
+  }
+
+  bool has_ready() const { return !ready_queue_.empty(); }
+
+  // Takes the oldest ready command, marking it executing. Precondition:
+  // has_ready().
+  std::size_t pop_oldest_ready() {
+    const std::size_t index = ready_queue_.front();
+    ready_queue_.pop_front();
+    entry(index).state = kExecuting;
+    return index;
+  }
+
+  const Cmd& cmd(std::size_t index) const {
+    return entries_[index - base_].cmd;
+  }
+
+  // Removes an executed command; returns how many commands became ready.
+  int remove(std::size_t index) {
+    Entry& removed = entry(index);
+    removed.state = kRemoved;
+    --present_;
+    if (removed.cmd.is_write) --present_writes_;
+    while (!entries_.empty() && entries_.front().state == kRemoved) {
+      entries_.pop_front();
+      ++base_;
+    }
+    // Newly ready commands can only exist in the prefix up to (and
+    // including) the first present write. With no writes present, every
+    // read was already ready at insertion.
+    int freed = 0;
+    bool saw_present = false;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      Entry& e = entries_[i];
+      if (e.state == kRemoved) continue;
+      if (e.cmd.is_write) {
+        if (!saw_present && e.state == kWaiting) {
+          e.state = kReady;
+          ready_queue_.push_back(base_ + i);
+          ++freed;
+        }
+        break;  // nothing beyond the first present write can be ready
+      }
+      if (e.state == kWaiting) {
+        e.state = kReady;
+        ready_queue_.push_back(base_ + i);
+        ++freed;
+      }
+      saw_present = true;
+    }
+    return freed;
+  }
+
+  std::size_t population() const { return present_; }
+  std::size_t present_writes() const { return present_writes_; }
+
+ private:
+  enum State : std::uint8_t { kWaiting, kReady, kExecuting, kRemoved };
+  struct Entry {
+    Cmd cmd;
+    State state;
+  };
+
+  Entry& entry(std::size_t index) { return entries_[index - base_]; }
+
+  std::deque<Entry> entries_;
+  std::size_t base_ = 0;
+  std::size_t present_ = 0;
+  std::size_t present_writes_ = 0;
+  std::deque<std::size_t> ready_queue_;  // oldest-first ready indices
+};
+
+}  // namespace psmr::sim

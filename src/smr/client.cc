@@ -1,0 +1,101 @@
+#include "smr/client.h"
+
+#include "broadcast/messages.h"
+#include "common/stopwatch.h"
+
+namespace psmr {
+
+SmrClient::SmrClient(SimNetwork& net, std::vector<NodeId> replicas,
+                     Config config, std::function<Command()> next_command)
+    : net_(net),
+      replicas_(std::move(replicas)),
+      config_(config),
+      next_command_(std::move(next_command)) {
+  endpoint_ = net_.add_endpoint(
+      [this](NodeId from, MessagePtr m) { handle_message(from, std::move(m)); });
+}
+
+SmrClient::~SmrClient() {
+  {
+    std::lock_guard lock(mu_);
+    stopping_ = true;
+    issuing_ = false;
+  }
+  if (timer_.joinable()) timer_.join();
+}
+
+void SmrClient::start() {
+  std::lock_guard lock(mu_);
+  if (issuing_ || stopping_) return;
+  issuing_ = true;
+  for (int i = 0; i < config_.pipeline; ++i) issue_one_locked();
+  if (!timer_.joinable()) {
+    timer_ = std::thread([this] { timer_loop(); });
+  }
+}
+
+void SmrClient::stop() {
+  std::lock_guard lock(mu_);
+  issuing_ = false;
+}
+
+bool SmrClient::drain(std::uint64_t timeout_ms) {
+  std::unique_lock lock(mu_);
+  issuing_ = false;
+  return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                              [&] { return outstanding_.empty(); });
+}
+
+void SmrClient::issue_one_locked() {
+  Command c = next_command_();
+  c.client = static_cast<std::uint64_t>(endpoint_);
+  c.client_seq = next_seq_++;
+  const std::uint64_t now = now_ns();
+  outstanding_[c.client_seq] = {c, now, now};
+  send_to_all_locked(c);
+}
+
+void SmrClient::send_to_all_locked(const Command& c) {
+  auto m = make_message<RequestMsg>(std::vector<Command>{c});
+  for (NodeId replica : replicas_) net_.send(endpoint_, replica, m);
+}
+
+void SmrClient::handle_message(NodeId /*from*/, const MessagePtr& m) {
+  if (m->type != msg::kReply) return;
+  const auto& reply = message_as<ReplyMsg>(m);
+  std::lock_guard lock(mu_);
+  auto it = outstanding_.find(reply.client_seq);
+  if (it == outstanding_.end()) return;  // duplicate reply
+  latency_.record(now_ns() - it->second.issued_ns);
+  outstanding_.erase(it);
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  if (issuing_) {
+    issue_one_locked();
+  } else if (outstanding_.empty()) {
+    drained_cv_.notify_all();
+  }
+}
+
+void SmrClient::timer_loop() {
+  while (true) {
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(config_.tick_interval_ms));
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    const std::uint64_t now = now_ns();
+    const std::uint64_t timeout_ns = config_.resend_timeout_ms * 1'000'000ull;
+    for (auto& [seq, entry] : outstanding_) {
+      if (now - entry.last_sent_ns >= timeout_ns) {
+        entry.last_sent_ns = now;
+        send_to_all_locked(entry.cmd);
+      }
+    }
+  }
+}
+
+Histogram SmrClient::latency_snapshot() const {
+  std::lock_guard lock(mu_);
+  return latency_;
+}
+
+}  // namespace psmr

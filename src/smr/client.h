@@ -1,0 +1,93 @@
+// Closed-loop SMR client.
+//
+// Keeps `pipeline` commands outstanding: each command is sent to every
+// replica (the leader orders it, every replica executes and replies, the
+// first reply completes it) and a new command is issued on completion.
+// Commands unanswered for resend_timeout are retransmitted to all replicas
+// — the at-most-once logic at the replicas absorbs duplicates — which is
+// what carries clients across leader crashes and view changes.
+//
+// Latency is recorded per command (issue -> first reply) in a histogram;
+// completed-command counts are exposed for throughput windows.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "cos/command.h"
+#include "net/sim_network.h"
+
+namespace psmr {
+
+class SmrClient {
+ public:
+  struct Config {
+    int pipeline = 1;
+    std::uint64_t resend_timeout_ms = 1000;
+    std::uint64_t tick_interval_ms = 20;
+  };
+
+  // `next_command` produces the workload; it is called from network/timer
+  // threads (one call at a time, synchronized internally).
+  SmrClient(SimNetwork& net, std::vector<NodeId> replicas, Config config,
+            std::function<Command()> next_command);
+  ~SmrClient();
+
+  SmrClient(const SmrClient&) = delete;
+  SmrClient& operator=(const SmrClient&) = delete;
+
+  void start();
+
+  // Stops issuing new commands; outstanding ones may still complete.
+  void stop();
+
+  // Stops and waits until nothing is outstanding (or the drain timeout
+  // expires). Returns true if fully drained.
+  bool drain(std::uint64_t timeout_ms = 2000);
+
+  NodeId endpoint() const { return endpoint_; }
+  std::uint64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+  // Snapshot of the latency histogram (thread-safe copy).
+  Histogram latency_snapshot() const;
+
+ private:
+  struct Outstanding {
+    Command cmd;
+    std::uint64_t issued_ns;
+    std::uint64_t last_sent_ns;
+  };
+
+  void handle_message(NodeId from, const MessagePtr& m);
+  void issue_one_locked();
+  void send_to_all_locked(const Command& c);
+  void timer_loop();
+
+  SimNetwork& net_;
+  const std::vector<NodeId> replicas_;
+  const Config config_;
+  const std::function<Command()> next_command_;
+  NodeId endpoint_ = -1;
+
+  mutable std::mutex mu_;
+  std::condition_variable drained_cv_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_;  // by seq
+  std::uint64_t next_seq_ = 1;
+  bool issuing_ = false;
+  bool stopping_ = false;
+  Histogram latency_;
+
+  std::atomic<std::uint64_t> completed_{0};
+  std::thread timer_;
+};
+
+}  // namespace psmr

@@ -1,0 +1,76 @@
+#include "smr/deployment.h"
+
+namespace psmr {
+
+Deployment::Deployment(Config config, const ServiceFactory& make_service)
+    : config_(config), net_(std::make_unique<SimNetwork>(config.net)) {
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(static_cast<std::size_t>(config_.replicas));
+  for (int i = 0; i < config_.replicas; ++i) {
+    replicas_.push_back(std::make_unique<Replica>(*net_, i, make_service(),
+                                                  config_.replica));
+    endpoints.push_back(replicas_.back()->endpoint());
+  }
+  for (auto& replica : replicas_) replica->connect(endpoints);
+}
+
+Deployment::~Deployment() { stop(); }
+
+SmrClient& Deployment::add_client(SmrClient::Config config,
+                                  std::function<Command()> next_command) {
+  std::vector<NodeId> endpoints;
+  endpoints.reserve(replicas_.size());
+  for (auto& replica : replicas_) endpoints.push_back(replica->endpoint());
+  clients_.push_back(std::make_unique<SmrClient>(
+      *net_, std::move(endpoints), config, std::move(next_command)));
+  if (started_) clients_.back()->start();
+  return *clients_.back();
+}
+
+void Deployment::start() {
+  if (started_) return;
+  started_ = true;
+  for (auto& replica : replicas_) replica->start();
+  for (auto& client : clients_) client->start();
+}
+
+void Deployment::stop() {
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& client : clients_) client->drain(2000);
+  // Network first: after shutdown() no handler can run, so replica/client
+  // objects can die safely.
+  net_->shutdown();
+  for (auto& replica : replicas_) replica->stop();
+}
+
+std::vector<SmrClient*> Deployment::clients() {
+  std::vector<SmrClient*> out;
+  out.reserve(clients_.size());
+  for (auto& client : clients_) out.push_back(client.get());
+  return out;
+}
+
+std::uint64_t Deployment::total_client_completed() const {
+  std::uint64_t total = 0;
+  for (const auto& client : clients_) total += client->completed();
+  return total;
+}
+
+bool Deployment::states_converged() const {
+  bool first = true;
+  std::uint64_t digest = 0;
+  for (const auto& replica : replicas_) {
+    if (net_->crashed(replica->endpoint())) continue;
+    const std::uint64_t d = replica->state_digest();
+    if (first) {
+      digest = d;
+      first = false;
+    } else if (d != digest) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace psmr

@@ -1,0 +1,265 @@
+#include "smr/replica.h"
+
+#include <thread>
+
+#include "codec/codec.h"
+
+namespace psmr {
+
+namespace {
+// Reply-cache entries older than this (per client, in client_seq distance)
+// are pruned; clients never have anywhere near this many outstanding.
+constexpr std::uint64_t kReplyCacheWindow = 1024;
+}  // namespace
+
+Replica::Replica(SimNetwork& net, int index, std::unique_ptr<Service> service,
+                 Config config)
+    : net_(net), index_(index), config_(config), service_(std::move(service)) {
+  endpoint_ = net_.add_endpoint(
+      [this](NodeId from, MessagePtr m) { handle_message(from, std::move(m)); });
+  if (!config_.sequential) {
+    cos_ = make_cos(config_.cos_kind, config_.graph_size,
+                    service_->conflict());
+  }
+}
+
+Replica::~Replica() { stop(); }
+
+void Replica::connect(const std::vector<NodeId>& replica_endpoints) {
+  broadcast_ = std::make_unique<SequencedBroadcast>(
+      net_, endpoint_, index_, replica_endpoints, config_.broadcast,
+      [this](std::uint64_t seq, const std::vector<Command>& batch) {
+        delivered_.push({seq, batch, nullptr});
+      });
+  // Lagging beyond the peers' log retention: ask the peer that showed us
+  // the gap for a checkpoint.
+  // Careful: the gap handler runs with the broadcast engine's mutex held,
+  // so it must not call back into the engine (hence the watermark is passed
+  // in rather than queried).
+  broadcast_->set_gap_handler([this](NodeId peer, std::uint64_t delivered) {
+    net_.send(endpoint_, peer, make_message<StateRequestMsg>(delivered));
+  });
+}
+
+void Replica::start() {
+  if (running_.exchange(true)) return;
+  broadcast_->start();
+  scheduler_ = std::thread([this] { scheduler_loop(); });
+  if (!config_.sequential) {
+    for (int w = 0; w < config_.workers; ++w) {
+      workers_.emplace_back([this] { worker_loop(); });
+    }
+  }
+}
+
+void Replica::stop() {
+  if (!running_.exchange(false)) return;
+  if (broadcast_) broadcast_->stop();
+  delivered_.close();
+  if (cos_) cos_->close();
+  if (scheduler_.joinable()) scheduler_.join();
+  for (auto& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+void Replica::crash() {
+  net_.crash(endpoint_);
+  stop();
+}
+
+void Replica::handle_message(NodeId from, const MessagePtr& m) {
+  switch (m->type) {
+    case msg::kRequest:
+      on_request(from, message_as<RequestMsg>(m));
+      break;
+    case msg::kReply:
+      break;  // replicas do not consume replies
+    case msg::kStateRequest:
+      // Serve at the next quiescent point of the scheduler.
+      delivered_.push({0, {}, [this, from] { serve_state_request(from); }});
+      break;
+    case msg::kStateResponse: {
+      auto keep_alive = m;  // control task outlives this handler frame
+      delivered_.push({0,
+                       {},
+                       [this, keep_alive] {
+                         apply_state_response(
+                             message_as<StateResponseMsg>(keep_alive));
+                       }});
+      break;
+    }
+    default:
+      if (broadcast_) broadcast_->handle(from, m);
+      break;
+  }
+}
+
+void Replica::on_request(NodeId from, const RequestMsg& m) {
+  // Answer retransmissions of already-executed commands from the cache and
+  // forward the rest into the ordering protocol (effective only if leader).
+  std::vector<Command> fresh;
+  fresh.reserve(m.commands.size());
+  {
+    std::lock_guard lock(clients_mu_);
+    for (Command c : m.commands) {
+      c.client = static_cast<std::uint64_t>(from);  // authoritative source
+      auto it = clients_.find(c.client);
+      if (it != clients_.end()) {
+        auto cached = it->second.replies.find(c.client_seq);
+        if (cached != it->second.replies.end()) {
+          const Response& r = cached->second;
+          net_.send(endpoint_, from,
+                    make_message<ReplyMsg>(r.client_seq, r.value, r.ok));
+          continue;
+        }
+      }
+      fresh.push_back(c);
+    }
+  }
+  if (!fresh.empty() && broadcast_) broadcast_->submit(fresh);
+}
+
+void Replica::scheduler_loop() {
+  while (auto delivery = delivered_.pop()) {
+    if (delivery->control) {
+      wait_quiescent();
+      delivery->control();
+      continue;
+    }
+    last_processed_seq_ = delivery->seq;
+    // At-most-once filtering (drop retransmissions / view-change
+    // re-proposals), then hand the surviving commands to the COS as one
+    // batch — the lock-free DAG inserts them in a single traversal.
+    std::vector<Command> fresh;
+    fresh.reserve(delivery->batch.size());
+    {
+      std::lock_guard lock(clients_mu_);
+      for (const Command& c : delivery->batch) {
+        auto& state = clients_[c.client];
+        if (c.client != 0 && c.client_seq <= state.max_inserted_seq) continue;
+        state.max_inserted_seq = c.client_seq;
+        fresh.push_back(c);
+        fresh.back().id = next_command_id_++;
+      }
+    }
+    if (config_.sequential) {
+      for (const Command& c : fresh) execute_and_reply(c);
+    } else if (!fresh.empty()) {
+      if (!cos_->insert_batch(fresh)) return;  // closed
+      population_sum_.fetch_add(cos_->approx_size(),
+                                std::memory_order_relaxed);
+      population_samples_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Replica::worker_loop() {
+  while (true) {
+    CosHandle h = cos_->get();
+    if (!h) return;  // closed
+    execute_and_reply(*h.cmd);
+    cos_->remove(h);
+  }
+}
+
+void Replica::execute_and_reply(const Command& c) {
+  const Response r = service_->execute(c);
+  executed_.fetch_add(1, std::memory_order_relaxed);
+  if (c.client == 0) return;  // internally generated (tests)
+  {
+    std::lock_guard lock(clients_mu_);
+    auto& state = clients_[c.client];
+    state.replies[c.client_seq] = r;
+    // Bounded cache: drop entries far behind.
+    if (state.replies.size() > kReplyCacheWindow) {
+      for (auto it = state.replies.begin(); it != state.replies.end();) {
+        if (it->first + kReplyCacheWindow < c.client_seq) {
+          it = state.replies.erase(it);
+        } else {
+          ++it;
+        }
+      }
+    }
+  }
+  net_.send(endpoint_, static_cast<NodeId>(c.client),
+            make_message<ReplyMsg>(r.client_seq, r.value, r.ok));
+}
+
+// Spins until every command handed to the COS has been executed and
+// removed. Only called from the scheduler thread, so nothing new is being
+// inserted while we wait; when the population reaches zero the workers are
+// all parked in get() and the service is quiescent.
+void Replica::wait_quiescent() {
+  if (config_.sequential || !cos_) return;
+  while (cos_->approx_size() > 0 && running_.load(std::memory_order_relaxed)) {
+    std::this_thread::yield();
+  }
+}
+
+// Checkpoint = service snapshot + the per-client at-most-once table (so a
+// restored replica keeps rejecting retransmissions of commands the
+// checkpoint already contains). Reply caches are intentionally not shipped:
+// the peers that produced the checkpoint still hold theirs, and the crash
+// model guarantees a correct replica can answer retransmissions.
+std::vector<std::uint8_t> Replica::encode_checkpoint() {
+  ByteWriter out;
+  const std::vector<std::uint8_t> service_bytes = service_->snapshot();
+  out.put_bytes(service_bytes);
+  std::lock_guard lock(clients_mu_);
+  out.put_varint(clients_.size());
+  for (const auto& [client, state] : clients_) {
+    out.put_varint(client);
+    out.put_varint(state.max_inserted_seq);
+  }
+  return out.take();
+}
+
+bool Replica::decode_checkpoint(std::span<const std::uint8_t> bytes) {
+  ByteReader in(bytes);
+  const std::vector<std::uint8_t> service_bytes = in.get_bytes();
+  if (!in.ok() || !service_->restore(service_bytes)) return false;
+  const std::uint64_t clients = in.get_varint();
+  if (!in.ok() || clients > in.remaining() + 1) return false;
+  std::unordered_map<std::uint64_t, ClientState> table;
+  for (std::uint64_t i = 0; i < clients; ++i) {
+    const std::uint64_t client = in.get_varint();
+    table[client].max_inserted_seq = in.get_varint();
+  }
+  if (!in.ok()) return false;
+  std::lock_guard lock(clients_mu_);
+  clients_ = std::move(table);
+  return true;
+}
+
+void Replica::serve_state_request(NodeId peer) {
+  // Runs quiescent on the scheduler thread: every command up to
+  // last_processed_seq_ is reflected in the service state.
+  net_.send(endpoint_, peer,
+            make_message<StateResponseMsg>(last_processed_seq_,
+                                           broadcast_->view(),
+                                           encode_checkpoint()));
+}
+
+void Replica::apply_state_response(const StateResponseMsg& m) {
+  if (m.checkpoint_seq <= last_processed_seq_ ||
+      m.checkpoint_seq <= broadcast_->last_delivered()) {
+    return;  // stale or duplicate response
+  }
+  if (!decode_checkpoint(m.snapshot)) return;  // corrupt; try again later
+  last_processed_seq_ = m.checkpoint_seq;
+  broadcast_->install_checkpoint(m.checkpoint_seq);
+  state_transfers_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double Replica::mean_graph_population() const {
+  const std::uint64_t samples =
+      population_samples_.load(std::memory_order_relaxed);
+  if (samples == 0) return 0.0;
+  return static_cast<double>(
+             population_sum_.load(std::memory_order_relaxed)) /
+         static_cast<double>(samples);
+}
+
+}  // namespace psmr

@@ -1,0 +1,135 @@
+// SMR replica (paper Fig. 1 and Alg. 1).
+//
+// Parallel mode ("P-SMR"): the atomic-broadcast deliver callback feeds a
+// hand-off queue; the *scheduler* (parallelizer) thread pops delivered
+// batches, deduplicates retransmissions, stamps delivery order, and inserts
+// each command into the COS; a pool of *worker* threads loops
+// get -> execute -> remove and replies to the command's client.
+//
+// Sequential mode (classical SMR): the scheduler thread itself executes
+// every command in delivery order — no COS, no workers.
+//
+// At-most-once execution: commands are identified by (client, client_seq).
+// The scheduler skips any command whose client_seq is not greater than the
+// client's highest inserted one (this absorbs both client retransmissions
+// and re-proposals after a view change), and the replica answers
+// retransmissions of already-executed commands from a bounded reply cache.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "app/service.h"
+#include "broadcast/sequenced_broadcast.h"
+#include "common/blocking_queue.h"
+#include "cos/factory.h"
+#include "net/sim_network.h"
+
+namespace psmr {
+
+class Replica {
+ public:
+  struct Config {
+    bool sequential = false;  // classical SMR baseline
+    CosKind cos_kind = CosKind::kLockFree;
+    std::size_t graph_size = kPaperGraphSize;
+    int workers = 4;
+    SequencedBroadcast::Config broadcast;
+  };
+
+  // Registers this replica's network endpoint. After all replicas of the
+  // deployment are constructed, call connect() with every endpoint (in
+  // replica-index order), then start().
+  Replica(SimNetwork& net, int index, std::unique_ptr<Service> service,
+          Config config);
+  ~Replica();
+
+  Replica(const Replica&) = delete;
+  Replica& operator=(const Replica&) = delete;
+
+  NodeId endpoint() const { return endpoint_; }
+  int index() const { return index_; }
+
+  void connect(const std::vector<NodeId>& replica_endpoints);
+  void start();
+  void stop();
+
+  // Observability.
+  std::uint64_t executed_count() const {
+    return executed_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t state_digest() const { return service_->state_digest(); }
+  bool is_leader() const { return broadcast_ && broadcast_->is_leader(); }
+  std::uint64_t view() const { return broadcast_ ? broadcast_->view() : 0; }
+  const Service& service() const { return *service_; }
+  double mean_graph_population() const;
+
+  // Simulates a crash: the endpoint goes silent and all replica threads
+  // stop. Used by fault-tolerance tests and the fault_tolerance example.
+  void crash();
+
+ private:
+  // Scheduler work item: either a delivered batch or a control task (state
+  // transfer serve/apply) that must run at a quiescent point, i.e., after
+  // every previously delivered command has fully executed.
+  struct Delivery {
+    std::uint64_t seq = 0;
+    std::vector<Command> batch;
+    std::function<void()> control;
+  };
+
+  void handle_message(NodeId from, const MessagePtr& m);
+  void on_request(NodeId from, const RequestMsg& m);
+  void scheduler_loop();
+  void worker_loop();
+  void execute_and_reply(const Command& c);
+
+  // State transfer (all run on the scheduler thread at quiescence).
+  void wait_quiescent();
+  std::vector<std::uint8_t> encode_checkpoint();
+  bool decode_checkpoint(std::span<const std::uint8_t> bytes);
+  void serve_state_request(NodeId peer);
+  void apply_state_response(const StateResponseMsg& m);
+
+  SimNetwork& net_;
+  const int index_;
+  const Config config_;
+  std::unique_ptr<Service> service_;
+  NodeId endpoint_ = -1;
+
+  std::unique_ptr<SequencedBroadcast> broadcast_;
+  BlockingQueue<Delivery> delivered_;
+
+  std::unique_ptr<Cos> cos_;
+  std::thread scheduler_;
+  std::vector<std::thread> workers_;
+  std::atomic<bool> running_{false};
+
+  // Per-client at-most-once state. Guarded by clients_mu_.
+  struct ClientState {
+    std::uint64_t max_inserted_seq = 0;
+    std::unordered_map<std::uint64_t, Response> replies;  // bounded
+  };
+  mutable std::mutex clients_mu_;
+  std::unordered_map<std::uint64_t, ClientState> clients_;
+
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> population_sum_{0};
+  std::atomic<std::uint64_t> population_samples_{0};
+  std::uint64_t next_command_id_ = 1;      // scheduler thread only
+  std::uint64_t last_processed_seq_ = 0;   // scheduler thread only
+  std::atomic<std::uint64_t> state_transfers_{0};  // observability
+
+ public:
+  // Number of state-transfer checkpoints this replica installed.
+  std::uint64_t state_transfers() const {
+    return state_transfers_.load(std::memory_order_relaxed);
+  }
+};
+
+}  // namespace psmr

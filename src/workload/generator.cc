@@ -1,0 +1,64 @@
+#include "workload/generator.h"
+
+#include "app/bank_service.h"
+#include "app/kv_service.h"
+#include "app/linked_list_service.h"
+#include "common/rng.h"
+
+namespace psmr {
+
+std::vector<Command> make_list_workload(std::size_t count, double write_pct,
+                                        std::uint64_t key_space,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Command> commands;
+  commands.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t value = rng.below(key_space);
+    if (rng.uniform() * 100.0 < write_pct) {
+      commands.push_back(LinkedListService::make_add(value));
+    } else {
+      commands.push_back(LinkedListService::make_contains(value));
+    }
+  }
+  return commands;
+}
+
+std::vector<Command> make_kv_workload(const KvService& service,
+                                      std::size_t count, double write_pct,
+                                      std::uint64_t key_space,
+                                      std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Command> commands;
+  commands.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t key = rng.below(key_space);
+    if (rng.uniform() * 100.0 < write_pct) {
+      commands.push_back(service.make_put(key, rng()));
+    } else {
+      commands.push_back(service.make_get(key));
+    }
+  }
+  return commands;
+}
+
+std::vector<Command> make_bank_workload(std::size_t count, double write_pct,
+                                        std::uint64_t accounts,
+                                        std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Command> commands;
+  commands.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    if (rng.uniform() * 100.0 < write_pct) {
+      const std::uint64_t from = rng.below(accounts);
+      std::uint64_t to = rng.below(accounts);
+      if (to == from) to = (to + 1) % accounts;
+      commands.push_back(BankService::make_transfer(from, to, rng.below(100)));
+    } else {
+      commands.push_back(BankService::make_balance(rng.below(accounts)));
+    }
+  }
+  return commands;
+}
+
+}  // namespace psmr

@@ -1,0 +1,46 @@
+// SMR benchmark driver — the paper's §7.4 harness.
+//
+// Deploys 3 replicas + closed-loop clients over the simulated network, runs
+// the linked-list workload for a warmup + measurement window, and reports
+// server-side throughput (completed client commands) and client-side
+// latency, as in the paper's Figs. 4-6.
+#pragma once
+
+#include <cstdint>
+
+#include "app/linked_list_service.h"
+#include "cos/factory.h"
+
+namespace psmr {
+
+struct SmrDriverConfig {
+  bool sequential = false;  // classical SMR baseline
+  CosKind kind = CosKind::kLockFree;
+  int workers = 4;
+  std::size_t graph_size = kPaperGraphSize;
+  ExecCost cost = ExecCost::kLight;
+  double write_pct = 0.0;
+  int replicas = 3;
+  int clients = 16;
+  int pipeline = 4;
+  std::uint64_t warmup_ms = 300;
+  std::uint64_t measure_ms = 700;
+  std::uint64_t seed = 42;
+  // Network / ordering knobs (defaults approximate a fast LAN).
+  std::uint64_t net_latency_us = 30;
+  std::uint64_t net_jitter_us = 20;
+  std::size_t batch_max = 64;
+  std::uint64_t batch_timeout_us = 200;
+};
+
+struct SmrDriverResult {
+  double throughput_kops = 0.0;  // client commands completed per second /1e3
+  double mean_latency_ms = 0.0;
+  double p95_latency_ms = 0.0;
+  std::uint64_t completed = 0;
+  bool converged = false;  // replicas ended in identical states
+};
+
+SmrDriverResult run_smr_benchmark(const SmrDriverConfig& config);
+
+}  // namespace psmr

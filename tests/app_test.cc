@@ -1,0 +1,192 @@
+#include <gtest/gtest.h>
+
+#include "app/bank_service.h"
+#include "app/kv_service.h"
+#include "app/linked_list_service.h"
+
+namespace psmr {
+namespace {
+
+// ---------------------------------------------------------------------------
+// LinkedListService
+// ---------------------------------------------------------------------------
+
+TEST(LinkedList, InitializedWithRange) {
+  LinkedListService service(100);
+  EXPECT_EQ(service.size(), 100u);
+  for (std::uint64_t v : {0ull, 1ull, 50ull, 99ull}) {
+    const Response r = service.execute(LinkedListService::make_contains(v));
+    EXPECT_TRUE(r.ok) << v;
+  }
+  EXPECT_FALSE(service.execute(LinkedListService::make_contains(100)).ok);
+}
+
+TEST(LinkedList, AddNewValue) {
+  LinkedListService service(10);
+  EXPECT_TRUE(service.execute(LinkedListService::make_add(500)).ok);
+  EXPECT_EQ(service.size(), 11u);
+  EXPECT_TRUE(service.execute(LinkedListService::make_contains(500)).ok);
+}
+
+TEST(LinkedList, AddDuplicateReturnsFalse) {
+  LinkedListService service(10);
+  EXPECT_FALSE(service.execute(LinkedListService::make_add(5)).ok);
+  EXPECT_EQ(service.size(), 10u);
+}
+
+TEST(LinkedList, AddAtFront) {
+  LinkedListService service(0);
+  EXPECT_TRUE(service.execute(LinkedListService::make_add(7)).ok);
+  EXPECT_TRUE(service.execute(LinkedListService::make_add(3)).ok);  // front
+  EXPECT_TRUE(service.execute(LinkedListService::make_contains(3)).ok);
+  EXPECT_TRUE(service.execute(LinkedListService::make_contains(7)).ok);
+  EXPECT_EQ(service.size(), 2u);
+}
+
+TEST(LinkedList, SortedOrderPreservedUnderMixedAdds) {
+  LinkedListService service(0);
+  for (std::uint64_t v : {5ull, 1ull, 9ull, 3ull, 7ull}) {
+    EXPECT_TRUE(service.execute(LinkedListService::make_add(v)).ok);
+  }
+  LinkedListService reference(0);
+  for (std::uint64_t v : {1ull, 3ull, 5ull, 7ull, 9ull}) {
+    reference.execute(LinkedListService::make_add(v));
+  }
+  // Sorted insertion => digests independent of insertion order.
+  EXPECT_EQ(service.state_digest(), reference.state_digest());
+}
+
+TEST(LinkedList, DigestDiffersForDifferentStates) {
+  LinkedListService a(10), b(10);
+  b.execute(LinkedListService::make_add(1000));
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+TEST(LinkedList, CommandBuildersSetModes) {
+  const Command read = LinkedListService::make_contains(1);
+  const Command write = LinkedListService::make_add(1);
+  EXPECT_EQ(read.mode, AccessMode::kRead);
+  EXPECT_EQ(write.mode, AccessMode::kWrite);
+  EXPECT_FALSE(rw_conflict(read, read));
+  EXPECT_TRUE(rw_conflict(read, write));
+  EXPECT_TRUE(rw_conflict(write, write));
+}
+
+TEST(LinkedList, ExecCostSizesMatchPaper) {
+  EXPECT_EQ(exec_cost_list_size(ExecCost::kLight), 1000u);
+  EXPECT_EQ(exec_cost_list_size(ExecCost::kModerate), 10000u);
+  EXPECT_EQ(exec_cost_list_size(ExecCost::kHeavy), 100000u);
+}
+
+// ---------------------------------------------------------------------------
+// KvService
+// ---------------------------------------------------------------------------
+
+TEST(Kv, GetMissingReturnsNotOk) {
+  KvService service;
+  EXPECT_FALSE(service.execute(service.make_get(42)).ok);
+}
+
+TEST(Kv, PutThenGet) {
+  KvService service;
+  EXPECT_TRUE(service.execute(service.make_put(42, 7)).ok);
+  const Response r = service.execute(service.make_get(42));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 7u);
+}
+
+TEST(Kv, DeleteRemoves) {
+  KvService service;
+  service.execute(service.make_put(1, 2));
+  EXPECT_TRUE(service.execute(service.make_del(1)).ok);
+  EXPECT_FALSE(service.execute(service.make_get(1)).ok);
+  EXPECT_FALSE(service.execute(service.make_del(1)).ok);
+}
+
+TEST(Kv, SizeCountsEntries) {
+  KvService service;
+  for (std::uint64_t k = 0; k < 100; ++k) {
+    service.execute(service.make_put(k, k));
+  }
+  EXPECT_EQ(service.size(), 100u);
+}
+
+TEST(Kv, ConflictsFollowShards) {
+  KvService service(8);
+  const Command get1 = service.make_get(1);
+  const Command put1 = service.make_put(1, 9);
+  const Command get2 = service.make_get(2);
+  EXPECT_TRUE(keyset_rw_conflict(get1, put1));   // same key
+  EXPECT_FALSE(keyset_rw_conflict(get1, get2));  // reads never conflict
+}
+
+TEST(Kv, DigestIsOrderIndependent) {
+  KvService a, b;
+  a.execute(a.make_put(1, 10));
+  a.execute(a.make_put(2, 20));
+  b.execute(b.make_put(2, 20));
+  b.execute(b.make_put(1, 10));
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+// ---------------------------------------------------------------------------
+// BankService
+// ---------------------------------------------------------------------------
+
+TEST(Bank, InitialBalances) {
+  BankService bank(10, 100);
+  EXPECT_EQ(bank.total_balance(), 1000u);
+  const Response r = bank.execute(BankService::make_balance(3));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, 100u);
+}
+
+TEST(Bank, DepositIncreases) {
+  BankService bank(2, 50);
+  const Response r = bank.execute(BankService::make_deposit(0, 25));
+  EXPECT_EQ(r.value, 75u);
+  EXPECT_EQ(bank.total_balance(), 125u);
+}
+
+TEST(Bank, TransferMovesMoney) {
+  BankService bank(2, 100);
+  const Response r = bank.execute(BankService::make_transfer(0, 1, 30));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(bank.balance(0), 70u);
+  EXPECT_EQ(bank.balance(1), 130u);
+  EXPECT_EQ(bank.total_balance(), 200u);
+}
+
+TEST(Bank, TransferCapsAtBalance) {
+  BankService bank(2, 10);
+  const Response r = bank.execute(BankService::make_transfer(0, 1, 100));
+  EXPECT_FALSE(r.ok);  // only partial amount moved
+  EXPECT_EQ(r.value, 10u);
+  EXPECT_EQ(bank.balance(0), 0u);
+  EXPECT_EQ(bank.balance(1), 20u);
+  EXPECT_EQ(bank.total_balance(), 20u);
+}
+
+TEST(Bank, ConflictSemantics) {
+  const Command t01 = BankService::make_transfer(0, 1, 5);
+  const Command t12 = BankService::make_transfer(1, 2, 5);
+  const Command t23 = BankService::make_transfer(2, 3, 5);
+  const Command bal0 = BankService::make_balance(0);
+  const Command bal9 = BankService::make_balance(9);
+  EXPECT_TRUE(keyset_rw_conflict(t01, t12));   // share account 1
+  EXPECT_FALSE(keyset_rw_conflict(t01, t23));  // disjoint
+  EXPECT_TRUE(keyset_rw_conflict(t01, bal0));  // read vs write on account 0
+  EXPECT_FALSE(keyset_rw_conflict(t01, bal9));
+  EXPECT_FALSE(keyset_rw_conflict(bal0, bal9));
+  EXPECT_FALSE(keyset_rw_conflict(bal0, bal0));  // reads never conflict
+}
+
+TEST(Bank, DigestSensitiveToDistribution) {
+  BankService a(4, 100), b(4, 100);
+  a.execute(BankService::make_transfer(0, 1, 10));
+  EXPECT_EQ(a.total_balance(), b.total_balance());
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+}  // namespace
+}  // namespace psmr

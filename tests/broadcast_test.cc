@@ -1,0 +1,335 @@
+// Atomic-broadcast property tests: validity, uniform agreement, uniform
+// integrity, uniform total order (§2 of the paper), batching behaviour, and
+// leader-failure recovery via view change.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "broadcast/sequenced_broadcast.h"
+
+namespace psmr {
+namespace {
+
+Command cmd(std::uint64_t tag) {
+  Command c;
+  c.arg = tag;
+  return c;
+}
+
+// Harness: n broadcast engines over a simulated network, each recording its
+// delivery sequence.
+class BroadcastHarness {
+ public:
+  explicit BroadcastHarness(int n, SimNetwork::Config net_config = {},
+                            SequencedBroadcast::Config config = {}) {
+    net_ = std::make_unique<SimNetwork>(net_config);
+    deliveries_.resize(static_cast<std::size_t>(n));
+    mus_ = std::vector<std::mutex>(static_cast<std::size_t>(n));
+    std::vector<NodeId> endpoints;
+    for (int i = 0; i < n; ++i) {
+      const int index = i;
+      endpoints.push_back(net_->add_endpoint(
+          [this, index](NodeId from, MessagePtr m) {
+            if (engines_ready_.load()) {
+              engines_[static_cast<std::size_t>(index)]->handle(from, m);
+            }
+          }));
+    }
+    for (int i = 0; i < n; ++i) {
+      const int index = i;
+      engines_.push_back(std::make_unique<SequencedBroadcast>(
+          *net_, endpoints[static_cast<std::size_t>(i)], i, endpoints, config,
+          [this, index](std::uint64_t seq, const std::vector<Command>& batch) {
+            std::lock_guard lock(mus_[static_cast<std::size_t>(index)]);
+            for (const Command& c : batch) {
+              deliveries_[static_cast<std::size_t>(index)].push_back(
+                  {seq, c.arg});
+            }
+          }));
+    }
+    endpoints_ = endpoints;
+    engines_ready_.store(true);
+    for (auto& engine : engines_) engine->start();
+  }
+
+  ~BroadcastHarness() {
+    net_->shutdown();
+    for (auto& engine : engines_) engine->stop();
+  }
+
+  SequencedBroadcast& engine(int i) {
+    return *engines_[static_cast<std::size_t>(i)];
+  }
+  NodeId engine_endpoint(int i) const {
+    return endpoints_[static_cast<std::size_t>(i)];
+  }
+  SimNetwork& net() { return *net_; }
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> delivered(int i) {
+    std::lock_guard lock(mus_[static_cast<std::size_t>(i)]);
+    return deliveries_[static_cast<std::size_t>(i)];
+  }
+
+  // Waits until replica i delivered at least `count` commands.
+  bool wait_delivered(int i, std::size_t count, int timeout_ms = 5000) {
+    for (int t = 0; t < timeout_ms / 5; ++t) {
+      if (delivered(i).size() >= count) return true;
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return false;
+  }
+
+  int size() const { return static_cast<int>(engines_.size()); }
+
+ private:
+  std::unique_ptr<SimNetwork> net_;
+  std::vector<NodeId> endpoints_;
+  std::vector<std::unique_ptr<SequencedBroadcast>> engines_;
+  std::atomic<bool> engines_ready_{false};
+  std::vector<std::mutex> mus_;
+  std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
+      deliveries_;  // (slot seq, command tag)
+};
+
+SimNetwork::Config fast_net() {
+  SimNetwork::Config config;
+  config.base_latency_us = 30;
+  config.jitter_us = 20;
+  return config;
+}
+
+SequencedBroadcast::Config fast_broadcast() {
+  SequencedBroadcast::Config config;
+  config.batch_timeout_us = 200;
+  config.heartbeat_interval_ms = 5;
+  // Generous relative to the heartbeat so a loaded 1-core CI host does not
+  // trigger spurious view changes mid-test.
+  config.leader_timeout_ms = 250;
+  config.tick_interval_ms = 1;
+  return config;
+}
+
+TEST(Broadcast, LeaderOfViewZeroIsReplicaZero) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  EXPECT_TRUE(h.engine(0).is_leader());
+  EXPECT_FALSE(h.engine(1).is_leader());
+  EXPECT_FALSE(h.engine(2).is_leader());
+}
+
+TEST(Broadcast, ValidityEveryoneDeliversSubmitted) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  EXPECT_TRUE(h.engine(0).submit({cmd(1), cmd(2), cmd(3)}));
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(h.wait_delivered(i, 3)) << "replica " << i;
+  }
+}
+
+TEST(Broadcast, NonLeaderSubmitIsRejected) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  EXPECT_FALSE(h.engine(1).submit({cmd(1)}));
+  EXPECT_FALSE(h.engine(2).submit({cmd(1)}));
+}
+
+TEST(Broadcast, UniformTotalOrderAcrossReplicas) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  constexpr int kCommands = 500;
+  for (int i = 0; i < kCommands; ++i) {
+    EXPECT_TRUE(h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(h.wait_delivered(i, kCommands)) << "replica " << i;
+  }
+  const auto reference = h.delivered(0);
+  for (int i = 1; i < 3; ++i) {
+    const auto other = h.delivered(i);
+    ASSERT_EQ(other.size(), reference.size());
+    for (std::size_t k = 0; k < reference.size(); ++k) {
+      EXPECT_EQ(other[k], reference[k]) << "divergence at position " << k;
+    }
+  }
+}
+
+TEST(Broadcast, IntegrityNoDuplicateDeliveries) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  constexpr int kCommands = 300;
+  for (int i = 0; i < kCommands; ++i) {
+    h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))});
+  }
+  ASSERT_TRUE(h.wait_delivered(0, kCommands));
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  for (int i = 0; i < 3; ++i) {
+    const auto delivered = h.delivered(i);
+    std::map<std::uint64_t, int> seen;
+    for (const auto& [seq, tag] : delivered) seen[tag]++;
+    for (const auto& [tag, count] : seen) {
+      EXPECT_EQ(count, 1) << "tag " << tag << " at replica " << i;
+    }
+  }
+}
+
+TEST(Broadcast, BatchingGroupsCommands) {
+  auto config = fast_broadcast();
+  config.batch_max = 10;
+  BroadcastHarness h(3, fast_net(), config);
+  std::vector<Command> burst;
+  for (int i = 0; i < 25; ++i) burst.push_back(cmd(static_cast<std::uint64_t>(i)));
+  h.engine(0).submit(burst);
+  ASSERT_TRUE(h.wait_delivered(1, 25));
+  // 25 commands with batch_max 10 -> slots of size <= 10; the slot seq of
+  // the first and last commands must differ (at least 3 slots).
+  const auto delivered = h.delivered(1);
+  EXPECT_GE(delivered.back().first - delivered.front().first + 1, 3u);
+}
+
+TEST(Broadcast, SingleReplicaCommitsAlone) {
+  BroadcastHarness h(1, fast_net(), fast_broadcast());
+  EXPECT_TRUE(h.engine(0).submit({cmd(7)}));
+  ASSERT_TRUE(h.wait_delivered(0, 1));
+  EXPECT_EQ(h.delivered(0)[0].second, 7u);
+}
+
+TEST(Broadcast, FiveReplicasToleratesTwoSilent) {
+  // n = 5, f = 2: majority = 3, so commits proceed with two replicas cut
+  // off from the leader.
+  BroadcastHarness h(5, fast_net(), fast_broadcast());
+  h.net().set_link(0, 3, false);
+  h.net().set_link(0, 4, false);
+  for (int i = 0; i < 50; ++i) {
+    h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))});
+  }
+  for (int i : {0, 1, 2}) {
+    ASSERT_TRUE(h.wait_delivered(i, 50)) << "replica " << i;
+  }
+}
+
+TEST(Broadcast, ViewChangeElectsNextLeaderAfterCrash) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  // Commit some traffic under leader 0.
+  for (int i = 0; i < 20; ++i) {
+    h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))});
+  }
+  ASSERT_TRUE(h.wait_delivered(2, 20));
+
+  h.net().crash(0);
+  // Followers detect the silence and elect replica 1 (view 1).
+  bool leader_elected = false;
+  for (int t = 0; t < 1000; ++t) {
+    if (h.engine(1).is_leader()) {
+      leader_elected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(leader_elected);
+  EXPECT_GE(h.engine(1).view(), 1u);
+
+  // The new leader can order fresh commands and the survivors deliver them.
+  for (int i = 100; i < 120; ++i) {
+    EXPECT_TRUE(h.engine(1).submit({cmd(static_cast<std::uint64_t>(i))}));
+  }
+  ASSERT_TRUE(h.wait_delivered(1, 40));
+  ASSERT_TRUE(h.wait_delivered(2, 40));
+
+  // Survivors agree on the whole sequence.
+  const auto d1 = h.delivered(1);
+  const auto d2 = h.delivered(2);
+  ASSERT_EQ(d1.size(), d2.size());
+  for (std::size_t k = 0; k < d1.size(); ++k) EXPECT_EQ(d1[k], d2[k]);
+}
+
+TEST(Broadcast, CommittedEntriesSurviveViewChange) {
+  // Deliver under view 0, crash the leader, and verify nothing already
+  // delivered is lost or reordered at the survivors.
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  for (int i = 0; i < 30; ++i) {
+    h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))});
+  }
+  ASSERT_TRUE(h.wait_delivered(1, 30));
+  const auto before = h.delivered(1);
+
+  h.net().crash(0);
+  for (int t = 0; t < 1000 && !h.engine(1).is_leader(); ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(h.engine(1).is_leader());
+
+  const auto after = h.delivered(1);
+  ASSERT_GE(after.size(), before.size());
+  for (std::size_t k = 0; k < before.size(); ++k) {
+    EXPECT_EQ(after[k], before[k]);
+  }
+}
+
+TEST(Broadcast, InstallCheckpointAdvancesWatermarkAndPrunes) {
+  BroadcastHarness h(3, fast_net(), fast_broadcast());
+  for (int i = 0; i < 10; ++i) {
+    h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))});
+  }
+  ASSERT_TRUE(h.wait_delivered(1, 10));
+  const std::uint64_t delivered = h.engine(1).last_delivered();
+  // Install a far-future checkpoint: the watermark jumps, and slots below
+  // it will never be delivered again.
+  h.engine(1).install_checkpoint(delivered + 500);
+  EXPECT_EQ(h.engine(1).last_delivered(), delivered + 500);
+  // Stale installs are no-ops.
+  h.engine(1).install_checkpoint(delivered);
+  EXPECT_EQ(h.engine(1).last_delivered(), delivered + 500);
+}
+
+TEST(Broadcast, GapHandlerFiresWhenPeerIsFarAhead) {
+  auto config = fast_broadcast();
+  config.retained_slots = 8;
+  BroadcastHarness h(3, fast_net(), config);
+  std::atomic<int> gap_count{0};
+  std::atomic<std::uint64_t> reported_delivered{12345};
+  h.engine(2).set_gap_handler(
+      [&](NodeId /*peer*/, std::uint64_t our_delivered) {
+        reported_delivered = our_delivered;
+        gap_count.fetch_add(1);
+      });
+  // Forge a heartbeat showing the leader is 100 slots ahead.
+  h.engine(2).handle(h.engine_endpoint(0),
+                     make_message<HeartbeatMsg>(0, 100));
+  EXPECT_EQ(gap_count.load(), 1);
+  EXPECT_EQ(reported_delivered.load(), 0u);
+  // Throttled: an immediate second report is suppressed.
+  h.engine(2).handle(h.engine_endpoint(0),
+                     make_message<HeartbeatMsg>(0, 101));
+  EXPECT_EQ(gap_count.load(), 1);
+  // Within the retention window: no report even after the throttle window.
+  std::this_thread::sleep_for(std::chrono::milliseconds(250));
+  h.engine(2).handle(h.engine_endpoint(0), make_message<HeartbeatMsg>(0, 5));
+  EXPECT_EQ(gap_count.load(), 1);
+}
+
+TEST(Broadcast, CascadedViewChangeSkipsDeadLeaders) {
+  // Crash replicas 0 and 1 in a 5-replica group: view must advance past
+  // view 1 (whose leader is also dead) to view 2.
+  BroadcastHarness h(5, fast_net(), fast_broadcast());
+  for (int i = 0; i < 10; ++i) {
+    h.engine(0).submit({cmd(static_cast<std::uint64_t>(i))});
+  }
+  ASSERT_TRUE(h.wait_delivered(4, 10));
+  h.net().crash(0);
+  h.net().crash(1);
+  bool elected = false;
+  for (int t = 0; t < 2000; ++t) {
+    if (h.engine(2).is_leader()) {
+      elected = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_TRUE(elected);
+  EXPECT_GE(h.engine(2).view(), 2u);
+  EXPECT_TRUE(h.engine(2).submit({cmd(999)}));
+  ASSERT_TRUE(h.wait_delivered(3, 11));
+}
+
+}  // namespace
+}  // namespace psmr

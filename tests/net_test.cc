@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/sim_network.h"
+
+namespace psmr {
+namespace {
+
+struct IntMsg final : Message {
+  explicit IntMsg(int v) : Message(100), value(v) {}
+  int value;
+};
+
+SimNetwork::Config fast_config() {
+  SimNetwork::Config config;
+  config.base_latency_us = 50;
+  config.jitter_us = 20;
+  return config;
+}
+
+TEST(SimNetwork, DeliversMessage) {
+  SimNetwork net(fast_config());
+  std::atomic<int> received{-1};
+  std::atomic<NodeId> from_seen{-1};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b = net.add_endpoint([&](NodeId from, MessagePtr m) {
+    from_seen = from;
+    received = message_as<IntMsg>(m).value;
+  });
+  net.send(a, b, make_message<IntMsg>(42));
+  for (int i = 0; i < 200 && received.load() < 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), 42);
+  EXPECT_EQ(from_seen.load(), a);
+  EXPECT_EQ(net.messages_delivered(), 1u);
+}
+
+TEST(SimNetwork, SelfSendWorks) {
+  SimNetwork net(fast_config());
+  std::atomic<int> received{-1};
+  NodeId a = net.add_endpoint(
+      [&](NodeId, MessagePtr m) { received = message_as<IntMsg>(m).value; });
+  net.send(a, a, make_message<IntMsg>(7));
+  for (int i = 0; i < 200 && received.load() < 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(received.load(), 7);
+}
+
+TEST(SimNetwork, PerLinkFifoOrderDespiteJitter) {
+  SimNetwork::Config config;
+  config.base_latency_us = 10;
+  config.jitter_us = 500;  // heavy jitter tries to reorder
+  SimNetwork net(config);
+  std::vector<int> received;
+  std::mutex mu;
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b = net.add_endpoint([&](NodeId, MessagePtr m) {
+    std::lock_guard lock(mu);
+    received.push_back(message_as<IntMsg>(m).value);
+  });
+  constexpr int kMessages = 200;
+  for (int i = 0; i < kMessages; ++i) net.send(a, b, make_message<IntMsg>(i));
+  for (int i = 0; i < 400; ++i) {
+    {
+      std::lock_guard lock(mu);
+      if (static_cast<int>(received.size()) == kMessages) break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::lock_guard lock(mu);
+  ASSERT_EQ(static_cast<int>(received.size()), kMessages);
+  for (int i = 0; i < kMessages; ++i) EXPECT_EQ(received[static_cast<size_t>(i)], i);
+}
+
+TEST(SimNetwork, CrashedEndpointReceivesNothing) {
+  SimNetwork net(fast_config());
+  std::atomic<int> count{0};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+  net.crash(b);
+  EXPECT_TRUE(net.crashed(b));
+  for (int i = 0; i < 10; ++i) net.send(a, b, make_message<IntMsg>(i));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(count.load(), 0);
+  EXPECT_GE(net.messages_dropped(), 10u);
+}
+
+TEST(SimNetwork, CrashedEndpointSendsNothing) {
+  SimNetwork net(fast_config());
+  std::atomic<int> count{0};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+  net.crash(a);
+  net.send(a, b, make_message<IntMsg>(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(SimNetwork, CutLinkDropsTrafficBothWays) {
+  SimNetwork net(fast_config());
+  std::atomic<int> at_a{0}, at_b{0};
+  const NodeId a =
+      net.add_endpoint([&](NodeId, MessagePtr) { at_a.fetch_add(1); });
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { at_b.fetch_add(1); });
+  net.set_link(a, b, false);
+  net.send(a, b, make_message<IntMsg>(1));
+  net.send(b, a, make_message<IntMsg>(2));
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(at_a.load(), 0);
+  EXPECT_EQ(at_b.load(), 0);
+
+  // Healing the link restores delivery.
+  net.set_link(a, b, true);
+  net.send(a, b, make_message<IntMsg>(3));
+  for (int i = 0; i < 100 && at_b.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(at_b.load(), 1);
+}
+
+TEST(SimNetwork, DropRateLosesRoughlyThatFraction) {
+  SimNetwork::Config config;
+  config.base_latency_us = 1;
+  config.jitter_us = 0;
+  config.drop_rate = 0.5;
+  SimNetwork net(config);
+  std::atomic<int> count{0};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+  constexpr int kMessages = 2000;
+  for (int i = 0; i < kMessages; ++i) net.send(a, b, make_message<IntMsg>(i));
+  for (int i = 0; i < 200; ++i) {
+    if (net.messages_delivered() + net.messages_dropped() >=
+        static_cast<std::uint64_t>(kMessages)) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_NEAR(count.load(), kMessages / 2, kMessages / 8);
+}
+
+TEST(SimNetwork, LatencyIsApplied) {
+  SimNetwork::Config config;
+  config.base_latency_us = 20'000;  // 20 ms
+  config.jitter_us = 0;
+  SimNetwork net(config);
+  std::atomic<bool> received{false};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { received = true; });
+  net.send(a, b, make_message<IntMsg>(1));
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_FALSE(received.load());  // too early
+  for (int i = 0; i < 100 && !received.load(); ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(received.load());
+}
+
+TEST(SimNetwork, ShutdownIsIdempotentAndStopsDelivery) {
+  SimNetwork net(fast_config());
+  std::atomic<int> count{0};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+  net.shutdown();
+  net.shutdown();
+  net.send(a, b, make_message<IntMsg>(1));  // silently ignored
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(count.load(), 0);
+}
+
+TEST(SimNetwork, ManySendersStress) {
+  SimNetwork::Config config;
+  config.base_latency_us = 5;
+  config.jitter_us = 5;
+  SimNetwork net(config);
+  std::atomic<int> count{0};
+  const NodeId sink =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+  std::vector<NodeId> senders;
+  for (int i = 0; i < 4; ++i) {
+    senders.push_back(net.add_endpoint([](NodeId, MessagePtr) {}));
+  }
+  constexpr int kPerSender = 2500;
+  std::vector<std::thread> threads;
+  for (NodeId s : senders) {
+    threads.emplace_back([&, s] {
+      for (int i = 0; i < kPerSender; ++i) {
+        net.send(s, sink, make_message<IntMsg>(i));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const int expected = static_cast<int>(senders.size()) * kPerSender;
+  for (int i = 0; i < 1000 && count.load() < expected; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(count.load(), expected);
+}
+
+}  // namespace
+}  // namespace psmr

@@ -1,0 +1,355 @@
+// End-to-end SMR integration tests: full deployments (simulated network +
+// sequenced broadcast + replicas + closed-loop clients) for all scheduler
+// kinds and the sequential baseline, checking liveness, replica
+// convergence, at-most-once execution, the bank-conservation invariant, and
+// leader-crash recovery.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "app/bank_service.h"
+#include "app/kv_service.h"
+#include "app/linked_list_service.h"
+#include "common/rng.h"
+#include "smr/deployment.h"
+#include "workload/generator.h"
+
+namespace psmr {
+namespace {
+
+SimNetwork::Config fast_net() {
+  SimNetwork::Config config;
+  config.base_latency_us = 30;
+  config.jitter_us = 20;
+  return config;
+}
+
+SequencedBroadcast::Config fast_broadcast() {
+  SequencedBroadcast::Config config;
+  config.batch_timeout_us = 200;
+  config.heartbeat_interval_ms = 5;
+  config.leader_timeout_ms = 250;
+  config.tick_interval_ms = 1;
+  return config;
+}
+
+Deployment::Config make_config(bool sequential, CosKind kind, int workers) {
+  Deployment::Config config;
+  config.replicas = 3;
+  config.net = fast_net();
+  config.replica.sequential = sequential;
+  config.replica.cos_kind = kind;
+  config.replica.workers = workers;
+  config.replica.broadcast = fast_broadcast();
+  return config;
+}
+
+// Waits until every running replica executed at least `count` commands.
+bool wait_executed(Deployment& deployment, std::uint64_t count,
+                   int timeout_ms = 10000) {
+  for (int t = 0; t < timeout_ms / 5; ++t) {
+    bool all = true;
+    for (int i = 0; i < deployment.replica_count(); ++i) {
+      if (deployment.net().crashed(deployment.replica(i).endpoint())) continue;
+      if (deployment.replica(i).executed_count() < count) all = false;
+    }
+    if (all) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return false;
+}
+
+struct SmrParam {
+  bool sequential;
+  CosKind kind;
+  int workers;
+};
+
+std::string smr_param_name(const ::testing::TestParamInfo<SmrParam>& info) {
+  if (info.param.sequential) return "Sequential";
+  std::string name;
+  switch (info.param.kind) {
+    case CosKind::kCoarseGrained:
+      name = "CoarseGrained";
+      break;
+    case CosKind::kFineGrained:
+      name = "FineGrained";
+      break;
+    case CosKind::kLockFree:
+      name = "LockFree";
+      break;
+  }
+  return name + "_w" + std::to_string(info.param.workers);
+}
+
+class SmrEndToEndTest : public ::testing::TestWithParam<SmrParam> {};
+
+TEST_P(SmrEndToEndTest, ClientsCompleteAndReplicasConverge) {
+  const SmrParam param = GetParam();
+  static constexpr std::size_t kListSize = 200;
+  Deployment deployment(
+      make_config(param.sequential, param.kind, param.workers),
+      [] { return std::make_unique<LinkedListService>(kListSize); });
+
+  // 4 clients, mixed workload with writes so convergence is meaningful.
+  std::vector<std::unique_ptr<Xoshiro256>> rngs;
+  for (int c = 0; c < 4; ++c) {
+    auto rng = std::make_unique<Xoshiro256>(100 + static_cast<unsigned>(c));
+    Xoshiro256* r = rng.get();
+    rngs.push_back(std::move(rng));
+    SmrClient::Config client_config;
+    client_config.pipeline = 4;
+    deployment.add_client(client_config, [r] {
+      const std::uint64_t v = r->below(kListSize);
+      return r->uniform() < 0.2 ? LinkedListService::make_add(v)
+                                : LinkedListService::make_contains(v);
+    });
+  }
+
+  deployment.start();
+  // Let the system run until clients completed a solid batch of commands.
+  for (int t = 0; t < 2000 && deployment.total_client_completed() < 800; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const std::uint64_t completed = deployment.total_client_completed();
+  EXPECT_GE(completed, 800u) << "system did not make progress";
+
+  // Quiesce: stop clients, let every replica finish executing everything
+  // that was ordered, then compare state digests.
+  for (SmrClient* client : deployment.clients()) client->drain(3000);
+  ASSERT_TRUE(wait_executed(deployment,
+                            deployment.replica(0).executed_count()));
+  // Give stragglers a moment to drain their last batch.
+  for (int t = 0; t < 600; ++t) {
+    if (deployment.states_converged()) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(deployment.states_converged());
+  deployment.stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllModes, SmrEndToEndTest,
+    ::testing::Values(SmrParam{true, CosKind::kLockFree, 0},
+                      SmrParam{false, CosKind::kCoarseGrained, 4},
+                      SmrParam{false, CosKind::kFineGrained, 4},
+                      SmrParam{false, CosKind::kLockFree, 4},
+                      SmrParam{false, CosKind::kLockFree, 8}),
+    smr_param_name);
+
+TEST(SmrBank, TransfersConserveMoneyAcrossReplicas) {
+  static constexpr std::size_t kAccounts = 32;
+  static constexpr std::uint64_t kInitial = 1000;
+  Deployment deployment(
+      make_config(false, CosKind::kLockFree, 4), [] {
+        return std::make_unique<BankService>(kAccounts, kInitial);
+      });
+  Xoshiro256 rng(7);
+  SmrClient::Config client_config;
+  client_config.pipeline = 8;
+  deployment.add_client(client_config, [&rng] {
+    const std::uint64_t from = rng.below(kAccounts);
+    std::uint64_t to = rng.below(kAccounts);
+    if (to == from) to = (to + 1) % kAccounts;
+    if (rng.uniform() < 0.7) {
+      return BankService::make_transfer(from, to, rng.below(50));
+    }
+    return BankService::make_balance(from);
+  });
+
+  deployment.start();
+  for (int t = 0; t < 2000 && deployment.total_client_completed() < 500; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(deployment.total_client_completed(), 500u);
+  for (SmrClient* client : deployment.clients()) client->drain(3000);
+
+  for (int t = 0; t < 600 && !deployment.states_converged(); ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(deployment.states_converged());
+  for (int i = 0; i < deployment.replica_count(); ++i) {
+    const auto& bank =
+        static_cast<const BankService&>(deployment.replica(i).service());
+    EXPECT_EQ(bank.total_balance(), kAccounts * kInitial)
+        << "money not conserved at replica " << i;
+  }
+  deployment.stop();
+}
+
+TEST(SmrKv, PerKeyConflictsStillLinearizePerKey) {
+  Deployment deployment(make_config(false, CosKind::kLockFree, 4),
+                        [] { return std::make_unique<KvService>(); });
+  // Single client writing an increasing counter to one key; the replicas
+  // must all end with the final value.
+  KvService builder;  // only for command construction
+  std::atomic<std::uint64_t> next{0};
+  SmrClient::Config client_config;
+  client_config.pipeline = 1;  // strictly ordered per client
+  deployment.add_client(client_config, [&] {
+    const std::uint64_t v = next.fetch_add(1);
+    return builder.make_put(42, v);
+  });
+  deployment.start();
+  for (int t = 0; t < 2000 && deployment.total_client_completed() < 200; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(deployment.total_client_completed(), 200u);
+  for (SmrClient* client : deployment.clients()) client->drain(3000);
+  for (int t = 0; t < 600 && !deployment.states_converged(); ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(deployment.states_converged());
+  const auto& kv =
+      static_cast<const KvService&>(deployment.replica(0).service());
+  const Response r =
+      const_cast<KvService&>(kv).execute(builder.make_get(42));
+  EXPECT_TRUE(r.ok);
+  EXPECT_EQ(r.value, deployment.total_client_completed() - 1)
+      << "lost or reordered update on key 42";
+  deployment.stop();
+}
+
+TEST(SmrFaultTolerance, ServiceSurvivesLeaderCrash) {
+  static constexpr std::size_t kListSize = 100;
+  Deployment deployment(
+      make_config(false, CosKind::kLockFree, 4),
+      [] { return std::make_unique<LinkedListService>(kListSize); });
+  Xoshiro256 rng(3);
+  SmrClient::Config client_config;
+  client_config.pipeline = 2;
+  client_config.resend_timeout_ms = 400;
+  deployment.add_client(client_config, [&rng] {
+    const std::uint64_t v = rng.below(kListSize);
+    return rng.uniform() < 0.2 ? LinkedListService::make_add(v)
+                               : LinkedListService::make_contains(v);
+  });
+  deployment.start();
+
+  for (int t = 0; t < 2000 && deployment.total_client_completed() < 100; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(deployment.total_client_completed(), 100u);
+
+  // Crash the leader (replica 0 in view 0).
+  deployment.replica(0).crash();
+
+  // The client stalls until the view change, then progresses again.
+  const std::uint64_t before = deployment.total_client_completed();
+  bool progressed = false;
+  for (int t = 0; t < 4000; ++t) {
+    if (deployment.total_client_completed() >= before + 100) {
+      progressed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(progressed) << "no progress after leader crash";
+
+  for (SmrClient* client : deployment.clients()) client->drain(3000);
+  for (int t = 0; t < 600 && !deployment.states_converged(); ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(deployment.states_converged());  // survivors agree
+  deployment.stop();
+}
+
+TEST(SmrStateTransfer, PartitionedReplicaCatchesUpViaCheckpoint) {
+  // Partition replica 2 away from everyone, push the system far beyond the
+  // broadcast log retention, heal the partition, and verify replica 2
+  // catches up through a checkpoint (state transfer), converging to the
+  // same state.
+  static constexpr std::size_t kListSize = 100;
+  Deployment::Config config = make_config(false, CosKind::kLockFree, 2);
+  config.replica.broadcast.retained_slots = 16;  // small window for the test
+  config.replica.broadcast.batch_max = 4;        // many slots
+  config.replica.broadcast.leader_timeout_ms = 100000;  // replica 2 must not
+                                                        // trigger view changes
+  Deployment deployment(
+      config, [] { return std::make_unique<LinkedListService>(0); });
+  std::atomic<std::uint64_t> next{1};
+  SmrClient::Config client_config;
+  client_config.pipeline = 4;
+  deployment.add_client(client_config, [&] {
+    return LinkedListService::make_add(next.fetch_add(1) % kListSize);
+  });
+  deployment.start();
+
+  // Cut replica 2 off.
+  const NodeId lagging = deployment.replica(2).endpoint();
+  deployment.net().set_link(deployment.replica(0).endpoint(), lagging, false);
+  deployment.net().set_link(deployment.replica(1).endpoint(), lagging, false);
+
+  // Run well past the retention window (16 slots * batch 4 = 64 commands).
+  for (int t = 0; t < 4000 && deployment.total_client_completed() < 600; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(deployment.total_client_completed(), 600u);
+  EXPECT_LT(deployment.replica(2).executed_count(), 100u);
+
+  // Heal and wait for catch-up.
+  deployment.net().set_link(deployment.replica(0).endpoint(), lagging, true);
+  deployment.net().set_link(deployment.replica(1).endpoint(), lagging, true);
+
+  bool transferred = false;
+  for (int t = 0; t < 2000; ++t) {
+    if (deployment.replica(2).state_transfers() > 0) {
+      transferred = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(transferred) << "no state transfer happened";
+
+  for (SmrClient* client : deployment.clients()) client->drain(3000);
+  bool converged = false;
+  for (int t = 0; t < 1000 && !converged; ++t) {
+    converged = deployment.states_converged();
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_TRUE(converged) << "lagging replica did not converge after "
+                            "state transfer";
+  deployment.stop();
+}
+
+TEST(SmrDedup, RetransmissionsExecuteAtMostOnce) {
+  // A pipeline-1 client with an aggressive resend timer: even when requests
+  // are retransmitted (and re-answered from the reply cache), each add must
+  // execute exactly once — otherwise the list size would drift.
+  static constexpr std::size_t kListSize = 16;
+  Deployment deployment(
+      make_config(false, CosKind::kLockFree, 2),
+      [] { return std::make_unique<LinkedListService>(0); });
+  std::atomic<std::uint64_t> next{0};
+  SmrClient::Config client_config;
+  client_config.pipeline = 1;
+  client_config.resend_timeout_ms = 1;  // pathological: resend every tick
+  client_config.tick_interval_ms = 1;
+  deployment.add_client(client_config, [&] {
+    return LinkedListService::make_add(next.fetch_add(1));
+  });
+  deployment.start();
+  for (int t = 0; t < 2000 && deployment.total_client_completed() < kListSize;
+       ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(deployment.total_client_completed(), kListSize);
+  for (SmrClient* client : deployment.clients()) client->drain(3000);
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  const std::uint64_t issued = next.load();
+  for (int i = 0; i < deployment.replica_count(); ++i) {
+    const auto& list = static_cast<const LinkedListService&>(
+        deployment.replica(i).service());
+    // Every add was of a distinct value: size == number of distinct adds
+    // executed. With at-most-once this is <= issued and >= completed.
+    EXPECT_LE(list.size(), issued);
+    EXPECT_EQ(list.size(), deployment.replica(i).executed_count())
+        << "duplicate execution at replica " << i;
+  }
+  deployment.stop();
+}
+
+}  // namespace
+}  // namespace psmr

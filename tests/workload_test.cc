@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "app/kv_service.h"
+#include "workload/ds_driver.h"
+#include "workload/generator.h"
+
+namespace psmr {
+namespace {
+
+TEST(Generator, ListWorkloadRespectsWritePercentage) {
+  auto commands = make_list_workload(20000, 25.0, 1000, 7);
+  ASSERT_EQ(commands.size(), 20000u);
+  std::size_t writes = 0;
+  for (const Command& c : commands) {
+    if (is_write(c)) ++writes;
+    EXPECT_LT(c.arg, 1000u);
+  }
+  EXPECT_NEAR(static_cast<double>(writes) / 20000.0, 0.25, 0.02);
+}
+
+TEST(Generator, ZeroWritesMeansAllReads) {
+  auto commands = make_list_workload(5000, 0.0, 100, 1);
+  for (const Command& c : commands) EXPECT_FALSE(is_write(c));
+}
+
+TEST(Generator, HundredWritesMeansAllWrites) {
+  auto commands = make_list_workload(5000, 100.0, 100, 1);
+  for (const Command& c : commands) EXPECT_TRUE(is_write(c));
+}
+
+TEST(Generator, DeterministicForSeed) {
+  auto a = make_list_workload(1000, 10.0, 100, 5);
+  auto b = make_list_workload(1000, 10.0, 100, 5);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].op, b[i].op);
+    EXPECT_EQ(a[i].arg, b[i].arg);
+  }
+}
+
+TEST(Generator, KvWorkloadUsesShardKeys) {
+  KvService service(16);
+  auto commands = make_kv_workload(service, 1000, 50.0, 500, 3);
+  for (const Command& c : commands) {
+    EXPECT_EQ(c.nkeys, 1);
+    EXPECT_LT(c.keys[0], 16u);   // shard id
+    EXPECT_LT(c.keys[1], 500u);  // user key
+  }
+}
+
+TEST(Generator, BankTransfersUseDistinctAccounts) {
+  auto commands = make_bank_workload(2000, 100.0, 10, 11);
+  for (const Command& c : commands) {
+    ASSERT_EQ(c.nkeys, 2);
+    EXPECT_NE(c.keys[0], c.keys[1]);
+    EXPECT_LT(c.keys[0], 10u);
+    EXPECT_LT(c.keys[1], 10u);
+  }
+}
+
+// Smoke test of the standalone driver: it must complete commands and report
+// a positive throughput for every implementation.
+TEST(DsDriver, AllImplementationsMakeProgress) {
+  for (CosKind kind : {CosKind::kCoarseGrained, CosKind::kFineGrained,
+                       CosKind::kLockFree}) {
+    DsDriverConfig config;
+    config.kind = kind;
+    config.cost = ExecCost::kLight;
+    config.workers = 2;
+    config.warmup_ms = 20;
+    config.measure_ms = 100;
+    config.write_pct = 10.0;
+    const DsDriverResult result = run_ds_benchmark(config);
+    EXPECT_GT(result.completed_ops, 0u) << cos_kind_name(kind);
+    EXPECT_GT(result.throughput_kops, 0.0) << cos_kind_name(kind);
+  }
+}
+
+TEST(DsDriver, PopulationBoundedByGraphSize) {
+  DsDriverConfig config;
+  config.kind = CosKind::kLockFree;
+  config.graph_size = 32;
+  config.workers = 1;
+  config.warmup_ms = 10;
+  config.measure_ms = 50;
+  const DsDriverResult result = run_ds_benchmark(config);
+  EXPECT_LE(result.mean_population, 32.0);
+}
+
+}  // namespace
+}  // namespace psmr
