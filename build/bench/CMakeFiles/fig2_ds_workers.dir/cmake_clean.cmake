@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_ds_workers.dir/fig2_ds_workers.cc.o"
+  "CMakeFiles/fig2_ds_workers.dir/fig2_ds_workers.cc.o.d"
+  "fig2_ds_workers"
+  "fig2_ds_workers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_ds_workers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

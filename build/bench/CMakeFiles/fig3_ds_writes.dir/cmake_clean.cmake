@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_ds_writes.dir/fig3_ds_writes.cc.o"
+  "CMakeFiles/fig3_ds_writes.dir/fig3_ds_writes.cc.o.d"
+  "fig3_ds_writes"
+  "fig3_ds_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_ds_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

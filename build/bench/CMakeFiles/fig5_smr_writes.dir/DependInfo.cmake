@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig5_smr_writes.cc" "bench/CMakeFiles/fig5_smr_writes.dir/fig5_smr_writes.cc.o" "gcc" "bench/CMakeFiles/fig5_smr_writes.dir/fig5_smr_writes.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/psmr_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/psmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/smr/CMakeFiles/psmr_smr.dir/DependInfo.cmake"
+  "/root/repo/build/src/broadcast/CMakeFiles/psmr_broadcast.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/psmr_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/psmr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/cos/CMakeFiles/psmr_cos.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/psmr_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_smr_writes.dir/fig5_smr_writes.cc.o"
+  "CMakeFiles/fig5_smr_writes.dir/fig5_smr_writes.cc.o.d"
+  "fig5_smr_writes"
+  "fig5_smr_writes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_smr_writes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_cos.cc" "bench/CMakeFiles/micro_cos.dir/micro_cos.cc.o" "gcc" "bench/CMakeFiles/micro_cos.dir/micro_cos.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cos/CMakeFiles/psmr_cos.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/psmr_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/psmr_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/psmr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

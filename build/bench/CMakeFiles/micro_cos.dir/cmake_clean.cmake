@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_cos.dir/micro_cos.cc.o"
+  "CMakeFiles/micro_cos.dir/micro_cos.cc.o.d"
+  "micro_cos"
+  "micro_cos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

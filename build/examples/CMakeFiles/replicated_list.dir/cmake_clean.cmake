@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/replicated_list.dir/replicated_list.cpp.o"
+  "CMakeFiles/replicated_list.dir/replicated_list.cpp.o.d"
+  "replicated_list"
+  "replicated_list.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/replicated_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

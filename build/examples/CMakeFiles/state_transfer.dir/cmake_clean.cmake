@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/state_transfer.dir/state_transfer.cpp.o"
+  "CMakeFiles/state_transfer.dir/state_transfer.cpp.o.d"
+  "state_transfer"
+  "state_transfer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/state_transfer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_app.dir/bank_service.cc.o"
+  "CMakeFiles/psmr_app.dir/bank_service.cc.o.d"
+  "CMakeFiles/psmr_app.dir/kv_service.cc.o"
+  "CMakeFiles/psmr_app.dir/kv_service.cc.o.d"
+  "CMakeFiles/psmr_app.dir/linked_list_service.cc.o"
+  "CMakeFiles/psmr_app.dir/linked_list_service.cc.o.d"
+  "libpsmr_app.a"
+  "libpsmr_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

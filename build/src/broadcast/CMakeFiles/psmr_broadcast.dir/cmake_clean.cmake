@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_broadcast.dir/sequenced_broadcast.cc.o"
+  "CMakeFiles/psmr_broadcast.dir/sequenced_broadcast.cc.o.d"
+  "libpsmr_broadcast.a"
+  "libpsmr_broadcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_broadcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_codec.dir/command_codec.cc.o"
+  "CMakeFiles/psmr_codec.dir/command_codec.cc.o.d"
+  "libpsmr_codec.a"
+  "libpsmr_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cos/coarse_grained.cc" "src/cos/CMakeFiles/psmr_cos.dir/coarse_grained.cc.o" "gcc" "src/cos/CMakeFiles/psmr_cos.dir/coarse_grained.cc.o.d"
+  "/root/repo/src/cos/factory.cc" "src/cos/CMakeFiles/psmr_cos.dir/factory.cc.o" "gcc" "src/cos/CMakeFiles/psmr_cos.dir/factory.cc.o.d"
+  "/root/repo/src/cos/fine_grained.cc" "src/cos/CMakeFiles/psmr_cos.dir/fine_grained.cc.o" "gcc" "src/cos/CMakeFiles/psmr_cos.dir/fine_grained.cc.o.d"
+  "/root/repo/src/cos/lock_free.cc" "src/cos/CMakeFiles/psmr_cos.dir/lock_free.cc.o" "gcc" "src/cos/CMakeFiles/psmr_cos.dir/lock_free.cc.o.d"
+  "/root/repo/src/cos/striped.cc" "src/cos/CMakeFiles/psmr_cos.dir/striped.cc.o" "gcc" "src/cos/CMakeFiles/psmr_cos.dir/striped.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/memory/CMakeFiles/psmr_memory.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

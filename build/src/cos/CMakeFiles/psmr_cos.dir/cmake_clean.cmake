@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_cos.dir/coarse_grained.cc.o"
+  "CMakeFiles/psmr_cos.dir/coarse_grained.cc.o.d"
+  "CMakeFiles/psmr_cos.dir/factory.cc.o"
+  "CMakeFiles/psmr_cos.dir/factory.cc.o.d"
+  "CMakeFiles/psmr_cos.dir/fine_grained.cc.o"
+  "CMakeFiles/psmr_cos.dir/fine_grained.cc.o.d"
+  "CMakeFiles/psmr_cos.dir/lock_free.cc.o"
+  "CMakeFiles/psmr_cos.dir/lock_free.cc.o.d"
+  "CMakeFiles/psmr_cos.dir/striped.cc.o"
+  "CMakeFiles/psmr_cos.dir/striped.cc.o.d"
+  "libpsmr_cos.a"
+  "libpsmr_cos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_cos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_memory.dir/ebr.cc.o"
+  "CMakeFiles/psmr_memory.dir/ebr.cc.o.d"
+  "libpsmr_memory.a"
+  "libpsmr_memory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

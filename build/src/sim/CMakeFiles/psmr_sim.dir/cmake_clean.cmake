@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_sim.dir/cos_models.cc.o"
+  "CMakeFiles/psmr_sim.dir/cos_models.cc.o.d"
+  "CMakeFiles/psmr_sim.dir/des.cc.o"
+  "CMakeFiles/psmr_sim.dir/des.cc.o.d"
+  "libpsmr_sim.a"
+  "libpsmr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

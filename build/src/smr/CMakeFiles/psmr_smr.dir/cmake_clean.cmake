@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_smr.dir/client.cc.o"
+  "CMakeFiles/psmr_smr.dir/client.cc.o.d"
+  "CMakeFiles/psmr_smr.dir/deployment.cc.o"
+  "CMakeFiles/psmr_smr.dir/deployment.cc.o.d"
+  "CMakeFiles/psmr_smr.dir/replica.cc.o"
+  "CMakeFiles/psmr_smr.dir/replica.cc.o.d"
+  "libpsmr_smr.a"
+  "libpsmr_smr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_smr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/psmr_workload.dir/ds_driver.cc.o"
+  "CMakeFiles/psmr_workload.dir/ds_driver.cc.o.d"
+  "CMakeFiles/psmr_workload.dir/generator.cc.o"
+  "CMakeFiles/psmr_workload.dir/generator.cc.o.d"
+  "CMakeFiles/psmr_workload.dir/smr_driver.cc.o"
+  "CMakeFiles/psmr_workload.dir/smr_driver.cc.o.d"
+  "libpsmr_workload.a"
+  "libpsmr_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/psmr_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_concurrency_test.dir/cos_concurrency_test.cc.o"
+  "CMakeFiles/cos_concurrency_test.dir/cos_concurrency_test.cc.o.d"
+  "cos_concurrency_test"
+  "cos_concurrency_test.pdb"
+  "cos_concurrency_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_concurrency_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

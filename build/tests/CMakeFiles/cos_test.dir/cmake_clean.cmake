@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cos_test.dir/cos_test.cc.o"
+  "CMakeFiles/cos_test.dir/cos_test.cc.o.d"
+  "cos_test"
+  "cos_test.pdb"
+  "cos_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cos_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

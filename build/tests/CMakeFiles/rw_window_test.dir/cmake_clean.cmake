@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rw_window_test.dir/rw_window_test.cc.o"
+  "CMakeFiles/rw_window_test.dir/rw_window_test.cc.o.d"
+  "rw_window_test"
+  "rw_window_test.pdb"
+  "rw_window_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rw_window_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim_test.cc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o" "gcc" "tests/CMakeFiles/sim_test.dir/sim_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/psmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/psmr_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/codec/CMakeFiles/psmr_codec.dir/DependInfo.cmake"
+  "/root/repo/build/src/cos/CMakeFiles/psmr_cos.dir/DependInfo.cmake"
+  "/root/repo/build/src/memory/CMakeFiles/psmr_memory.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/psmr_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/memory_test[1]_include.cmake")
+include("/root/repo/build/tests/cos_test[1]_include.cmake")
+include("/root/repo/build/tests/cos_concurrency_test[1]_include.cmake")
+include("/root/repo/build/tests/striped_test[1]_include.cmake")
+include("/root/repo/build/tests/app_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/codec_test[1]_include.cmake")
+include("/root/repo/build/tests/broadcast_test[1]_include.cmake")
+include("/root/repo/build/tests/smr_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/rw_window_test[1]_include.cmake")
