@@ -6,7 +6,7 @@
 
 namespace psmr {
 
-SequencedBroadcast::SequencedBroadcast(SimNetwork& net, NodeId self, int index,
+SequencedBroadcast::SequencedBroadcast(Transport& net, NodeId self, int index,
                                        std::vector<NodeId> replicas,
                                        Config config, DeliverFn deliver)
     : net_(net),

@@ -46,7 +46,7 @@
 #include <vector>
 
 #include "broadcast/messages.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 
 namespace psmr {
 
@@ -78,7 +78,7 @@ class SequencedBroadcast {
   // internal mutex held — the handler must not call back into this engine.
   using GapFn = std::function<void(NodeId peer, std::uint64_t our_delivered)>;
 
-  SequencedBroadcast(SimNetwork& net, NodeId self, int index,
+  SequencedBroadcast(Transport& net, NodeId self, int index,
                      std::vector<NodeId> replicas, Config config,
                      DeliverFn deliver);
 
@@ -140,7 +140,7 @@ class SequencedBroadcast {
 
   void timer_loop();
 
-  SimNetwork& net_;
+  Transport& net_;
   const NodeId self_;
   const int index_;
   const std::vector<NodeId> replicas_;

@@ -28,6 +28,7 @@
 #include "common/blocking_queue.h"
 #include "common/rng.h"
 #include "net/message.h"
+#include "net/transport.h"
 
 namespace psmr {
 
@@ -38,45 +39,44 @@ struct SimNetworkConfig {
   std::uint64_t seed = 1;
 };
 
-class SimNetwork {
+class SimNetwork final : public Transport {
  public:
   using Config = SimNetworkConfig;
 
-  using Handler = std::function<void(NodeId from, MessagePtr msg)>;
-
   explicit SimNetwork(Config config = Config());
-  ~SimNetwork();
+  ~SimNetwork() override;
 
   SimNetwork(const SimNetwork&) = delete;
   SimNetwork& operator=(const SimNetwork&) = delete;
 
   // Registers an endpoint; its handler runs on a dedicated dispatcher
   // thread, one message at a time. Must be called before traffic flows to
-  // the endpoint. Thread-safe.
-  NodeId add_endpoint(Handler handler);
+  // the endpoint. Thread-safe. Ids are assigned sequentially from 0.
+  NodeId add_endpoint(Handler handler) override;
 
   // Asynchronous, thread-safe. Self-sends are allowed.
-  void send(NodeId from, NodeId to, MessagePtr msg);
+  void send(NodeId from, NodeId to, MessagePtr msg) override;
 
   // Fault injection: cut or restore the (bidirectional) link between a and
   // b. Messages in flight on a cut link are dropped at delivery time.
-  void set_link(NodeId a, NodeId b, bool up);
+  bool supports_fault_injection() const override { return true; }
+  void set_link(NodeId a, NodeId b, bool up) override;
 
   // Crashes an endpoint: all of its inbound and outbound traffic is dropped
   // from now on (in-flight included). Its dispatcher drains and stops.
-  void crash(NodeId node);
-  bool crashed(NodeId node) const;
+  void crash(NodeId node) override;
+  bool crashed(NodeId node) const override;
 
   // Statistics.
-  std::uint64_t messages_delivered() const {
+  std::uint64_t messages_delivered() const override {
     return delivered_.load(std::memory_order_relaxed);
   }
-  std::uint64_t messages_dropped() const {
+  std::uint64_t messages_dropped() const override {
     return dropped_.load(std::memory_order_relaxed);
   }
 
   // Stops all threads. Called by the destructor; idempotent.
-  void shutdown();
+  void shutdown() override;
 
  private:
   struct InFlight {

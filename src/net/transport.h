@@ -1,0 +1,71 @@
+// Pluggable message transport: the seam between the SMR stack and the
+// fabric that carries its messages.
+//
+// Two implementations exist:
+//   - SimNetwork (net/sim_network.h): in-process actor fabric with seeded
+//     latency/jitter and full fault injection — the unit/property-test and
+//     benchmark substrate.
+//   - TcpTransport (net/tcp_transport.h): epoll-based non-blocking TCP for
+//     multi-process deployments; one transport instance hosts one node.
+//
+// Contract every implementation must satisfy (checked by
+// tests/transport_conformance_test.cc):
+//   - send() is asynchronous, thread-safe, and never blocks the caller
+//     indefinitely — not even when the destination is down (messages are
+//     dropped instead; the SMR layer retransmits).
+//   - Delivery is at-most-once and FIFO per (from, to) pair. Loss is
+//     allowed (crashes, cut links, queue overflow) but reordering is not.
+//   - Self-sends are delivered like any other message.
+//   - Handlers run one message at a time per endpoint (a socket-read-loop
+//     discipline); distinct endpoints dispatch concurrently.
+//
+// Wire transports serialize through codec/command_codec.h, so only message
+// types that codec knows survive the wire; SimNetwork ships pointers and
+// carries arbitrary Message subclasses. Protocol code must stick to codec-
+// registered messages to stay transport-agnostic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/message.h"
+
+namespace psmr {
+
+class Transport {
+ public:
+  using Handler = std::function<void(NodeId from, MessagePtr msg)>;
+
+  virtual ~Transport() = default;
+
+  // Registers the handler for an endpoint hosted by this transport and
+  // returns its node id. SimNetwork assigns ids sequentially and hosts any
+  // number of endpoints; TcpTransport hosts exactly one, with the id fixed
+  // by its config. Must be called before traffic flows to the endpoint.
+  virtual NodeId add_endpoint(Handler handler) = 0;
+
+  // Asynchronous, thread-safe, non-blocking send. `from` must be an
+  // endpoint hosted by this transport. Undeliverable messages are dropped
+  // (counted in messages_dropped()), never an error.
+  virtual void send(NodeId from, NodeId to, MessagePtr msg) = 0;
+
+  // Stops all transport threads and closes connections; idempotent. After
+  // shutdown() returns no handler is running or will run, so handler
+  // owners can safely be destroyed.
+  virtual void shutdown() = 0;
+
+  // Statistics.
+  virtual std::uint64_t messages_delivered() const = 0;
+  virtual std::uint64_t messages_dropped() const = 0;
+
+  // Fault-injection hooks. Only simulated transports implement these; on a
+  // real network they are no-ops (you cannot cut a physical link from
+  // process code). Callers that need them should check
+  // supports_fault_injection() first.
+  virtual bool supports_fault_injection() const { return false; }
+  virtual void set_link(NodeId /*a*/, NodeId /*b*/, bool /*up*/) {}
+  virtual void crash(NodeId /*node*/) {}
+  virtual bool crashed(NodeId /*node*/) const { return false; }
+};
+
+}  // namespace psmr

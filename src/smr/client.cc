@@ -5,7 +5,7 @@
 
 namespace psmr {
 
-SmrClient::SmrClient(SimNetwork& net, std::vector<NodeId> replicas,
+SmrClient::SmrClient(Transport& net, std::vector<NodeId> replicas,
                      Config config, std::function<Command()> next_command)
     : net_(net),
       replicas_(std::move(replicas)),

@@ -22,7 +22,7 @@
 
 #include "common/histogram.h"
 #include "cos/command.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 
 namespace psmr {
 
@@ -36,7 +36,7 @@ class SmrClient {
 
   // `next_command` produces the workload; it is called from network/timer
   // threads (one call at a time, synchronized internally).
-  SmrClient(SimNetwork& net, std::vector<NodeId> replicas, Config config,
+  SmrClient(Transport& net, std::vector<NodeId> replicas, Config config,
             std::function<Command()> next_command);
   ~SmrClient();
 
@@ -72,7 +72,7 @@ class SmrClient {
   void send_to_all_locked(const Command& c);
   void timer_loop();
 
-  SimNetwork& net_;
+  Transport& net_;
   const std::vector<NodeId> replicas_;
   const Config config_;
   const std::function<Command()> next_command_;

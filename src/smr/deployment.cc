@@ -3,7 +3,10 @@
 namespace psmr {
 
 Deployment::Deployment(Config config, const ServiceFactory& make_service)
-    : config_(config), net_(std::make_unique<SimNetwork>(config.net)) {
+    : config_(config),
+      net_(config.transport_factory
+               ? config.transport_factory()
+               : std::make_unique<SimNetwork>(config.net)) {
   std::vector<NodeId> endpoints;
   endpoints.reserve(static_cast<std::size_t>(config_.replicas));
   for (int i = 0; i < config_.replicas; ++i) {

@@ -1,11 +1,17 @@
-// Deployment harness: wires a simulated network, n replicas and a set of
+// Deployment harness: wires a transport, n replicas and a set of
 // closed-loop clients into one runnable system, and owns the teardown order
-// (the network is always shut down before any handler's owner dies).
+// (the transport is always shut down before any handler's owner dies).
 //
 // This is the equivalent of the paper's testbed scripts: 3 replicas + client
 // machines, run a workload for a while, measure throughput at the servers
 // and latency at the clients, and check that replicas converged to the same
 // state.
+//
+// By default the harness runs everything in-process over a SimNetwork; a
+// custom `transport_factory` swaps in any other single-fabric Transport.
+// Multi-process TCP deployments do not use this class — each process runs
+// one node via tools/psmr_node.cc instead, against the same Replica /
+// SmrClient code.
 #pragma once
 
 #include <cstdint>
@@ -14,6 +20,7 @@
 #include <vector>
 
 #include "net/sim_network.h"
+#include "net/transport.h"
 #include "smr/client.h"
 #include "smr/replica.h"
 
@@ -24,7 +31,11 @@ class Deployment {
   struct Config {
     int replicas = 3;
     Replica::Config replica;
-    SimNetwork::Config net;
+    SimNetwork::Config net;  // used by the default (SimNetwork) factory
+    // Optional override: build the fabric all nodes attach to. The factory
+    // must yield a transport whose add_endpoint() assigns ids sequentially
+    // from 0 (replicas register first, then clients).
+    std::function<std::unique_ptr<Transport>()> transport_factory;
   };
 
   using ServiceFactory = std::function<std::unique_ptr<Service>()>;
@@ -40,9 +51,9 @@ class Deployment {
                         std::function<Command()> next_command);
 
   void start();  // starts replicas, then clients
-  void stop();   // drains clients, stops replicas, shuts the network down
+  void stop();   // drains clients, stops replicas, shuts the transport down
 
-  SimNetwork& net() { return *net_; }
+  Transport& net() { return *net_; }
   int replica_count() const { return static_cast<int>(replicas_.size()); }
   Replica& replica(int i) { return *replicas_[static_cast<std::size_t>(i)]; }
   std::vector<SmrClient*> clients();
@@ -55,7 +66,7 @@ class Deployment {
 
  private:
   Config config_;
-  std::unique_ptr<SimNetwork> net_;
+  std::unique_ptr<Transport> net_;
   std::vector<std::unique_ptr<Replica>> replicas_;
   std::vector<std::unique_ptr<SmrClient>> clients_;
   bool started_ = false;

@@ -12,7 +12,7 @@ namespace {
 constexpr std::uint64_t kReplyCacheWindow = 1024;
 }  // namespace
 
-Replica::Replica(SimNetwork& net, int index, std::unique_ptr<Service> service,
+Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
                  Config config)
     : net_(net), index_(index), config_(config), service_(std::move(service)) {
   endpoint_ = net_.add_endpoint(

@@ -28,7 +28,7 @@
 #include "broadcast/sequenced_broadcast.h"
 #include "common/blocking_queue.h"
 #include "cos/factory.h"
-#include "net/sim_network.h"
+#include "net/transport.h"
 
 namespace psmr {
 
@@ -45,7 +45,7 @@ class Replica {
   // Registers this replica's network endpoint. After all replicas of the
   // deployment are constructed, call connect() with every endpoint (in
   // replica-index order), then start().
-  Replica(SimNetwork& net, int index, std::unique_ptr<Service> service,
+  Replica(Transport& net, int index, std::unique_ptr<Service> service,
           Config config);
   ~Replica();
 
@@ -96,7 +96,7 @@ class Replica {
   void serve_state_request(NodeId peer);
   void apply_state_response(const StateResponseMsg& m);
 
-  SimNetwork& net_;
+  Transport& net_;
   const int index_;
   const Config config_;
   std::unique_ptr<Service> service_;

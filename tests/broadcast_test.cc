@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "broadcast/sequenced_broadcast.h"
+#include "net/sim_network.h"
 
 namespace psmr {
 namespace {

@@ -10,6 +10,7 @@
 #include "codec/codec.h"
 #include "codec/command_codec.h"
 #include "common/rng.h"
+#include "net/wire.h"
 
 namespace psmr {
 namespace {
@@ -295,6 +296,86 @@ TEST(Snapshot, RestoreRejectsGarbage) {
     kv.restore(junk);
     bank.restore(junk);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Golden bytes
+//
+// The exact on-wire byte sequences are pinned here. If any of these tests
+// fails, the wire format changed: old and new binaries can no longer talk,
+// and kWireVersion must be bumped. They also catch any regression to
+// host-endian struct memcpy — the expectations below are little-endian
+// byte-by-byte layouts and would differ on a big-endian host encoder.
+// ---------------------------------------------------------------------------
+
+TEST(GoldenBytes, FixedWidthIntegersAreLittleEndian) {
+  ByteWriter w;
+  w.put_u16(0xBEEF);
+  w.put_u32(0xDEADBEEF);
+  w.put_u64(0x0123456789ABCDEFull);
+  const std::vector<std::uint8_t> expected = {
+      0xEF, 0xBE,                                      // u16
+      0xEF, 0xBE, 0xAD, 0xDE,                          // u32
+      0xEF, 0xCD, 0xAB, 0x89, 0x67, 0x45, 0x23, 0x01,  // u64
+  };
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(GoldenBytes, CommandEncoding) {
+  Command c;
+  c.id = 1;
+  c.client = 2;
+  c.client_seq = 3;
+  c.op = 0x1234;
+  c.mode = AccessMode::kWrite;
+  c.nkeys = 2;
+  c.keys[0] = 5;
+  c.keys[1] = 300;
+  c.arg = 128;
+  ByteWriter w;
+  encode_command(c, w);
+  const std::vector<std::uint8_t> expected = {
+      0x01, 0x02, 0x03,  // id, client, client_seq (varints)
+      0x34, 0x12,        // op, u16 LE
+      0x01,              // mode = kWrite
+      0x02,              // nkeys
+      0x05, 0xAC, 0x02,  // keys 5 and 300 (LEB128)
+      0x80, 0x01,        // arg = 128 (LEB128)
+  };
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(GoldenBytes, ReplyMessageEncoding) {
+  ByteWriter w;
+  encode_message(ReplyMsg(1, 300, true), w);
+  const std::vector<std::uint8_t> expected = {
+      0x02,        // type tag kReply
+      0x01,        // client_seq
+      0xAC, 0x02,  // value = 300
+      0x01,        // ok
+  };
+  EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(GoldenBytes, TcpHelloLayout) {
+  const std::vector<std::uint8_t> hello = wire::encode_hello(7);
+  const std::vector<std::uint8_t> expected = {
+      0x50, 0x53, 0x4D, 0x52,  // magic "PSMR"
+      0x01, 0x00,              // wire version 1
+      0x07, 0x00, 0x00, 0x00,  // node id
+  };
+  EXPECT_EQ(hello, expected);
+
+  wire::Hello parsed;
+  ASSERT_TRUE(wire::decode_hello(hello.data(), &parsed));
+  EXPECT_EQ(parsed.node_id, 7u);
+
+  std::vector<std::uint8_t> bad = hello;
+  bad[0] ^= 0xFF;  // corrupt magic
+  EXPECT_FALSE(wire::decode_hello(bad.data(), &parsed));
+  bad = hello;
+  bad[4] = 0x02;  // future wire version
+  EXPECT_FALSE(wire::decode_hello(bad.data(), &parsed));
 }
 
 }  // namespace
