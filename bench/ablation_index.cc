@@ -1,0 +1,128 @@
+// Ablation: key-indexed dependency tracking vs the pairwise insert scan.
+//
+// Sweeps window size x key-space skew over all four COS implementations on
+// a keyed KV workload (keyset_rw_conflict) and reports single-threaded
+// insert throughput with the index enabled and disabled, plus the
+// indexed/scan speedup ratio. The scan pays O(window) conflict checks per
+// insert; the index pays O(k) hash probes plus one entry per actual
+// dependency, so the gap widens with the window and narrows with skew
+// (hot keys mean more real dependencies, which both paths must record).
+//
+// Series:
+//   insert/<variant>/theta=<t>/{indexed,scan}  x=window  y=Minserts/s
+//   speedup/<variant>/theta=<t>                x=window  y=indexed/scan
+//
+// The speedup series are ratios of two measurements from the same run and
+// machine, so they are stable across hardware; CI gates on them against
+// the committed BENCH_cos.json baseline (--compare, ±20% band).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "app/kv_service.h"
+#include "bench_util.h"
+#include "cos/factory.h"
+#include "workload/generator.h"
+
+namespace {
+
+using psmr::Command;
+using psmr::CosKind;
+
+constexpr std::uint64_t kKeySpace = 16384;
+constexpr double kWritePct = 20.0;
+
+// Repeated fill-then-drain cycles; only the fill (insert) phases are timed.
+// The single-threaded drain cannot block: a non-empty dependency DAG always
+// has a source, and with one thread every ready permit is still pending.
+double measure_insert_mops(CosKind kind, bool indexed, std::size_t window,
+                           const std::vector<Command>& workload) {
+  auto cos = psmr::make_cos(kind, window, psmr::keyset_rw_conflict, indexed);
+  double insert_seconds = 0.0;
+  std::size_t done = 0;
+  while (done + window <= workload.size()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < window; ++i) {
+      cos->insert(workload[done + i]);
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    insert_seconds += std::chrono::duration<double>(t1 - t0).count();
+    for (std::size_t i = 0; i < window; ++i) {
+      cos->remove(cos->get());
+    }
+    done += window;
+  }
+  cos->close();
+  return static_cast<double>(done) / insert_seconds / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const psmr::bench::Options options = psmr::bench::parse_options(argc, argv);
+  if (!options.run_real) {
+    std::printf("ablation_index has no simulator mode; run with "
+                "--mode=real\n");
+    return 0;
+  }
+
+  const std::vector<std::size_t> windows =
+      options.quick ? std::vector<std::size_t>{512, 8192}
+                    : std::vector<std::size_t>{512, 2048, 8192, 16384};
+  const std::vector<double> thetas = {0.0, 0.99};
+  const CosKind kinds[] = {CosKind::kCoarseGrained, CosKind::kStriped,
+                           CosKind::kFineGrained, CosKind::kLockFree};
+
+  psmr::bench::print_header(
+      "ablation_index",
+      "keyed insert throughput: pairwise scan vs key index", "real");
+  std::printf("%-15s %8s %6s %12s %12s %9s\n", "variant", "window", "theta",
+              "scan Mop/s", "index Mop/s", "speedup");
+
+  psmr::KvService service(/*shard_count=*/kKeySpace);
+  for (const double theta : thetas) {
+    for (const std::size_t window : windows) {
+      const std::size_t target = options.quick
+                                     ? (window * 2 > 16384 ? window * 2 : 16384)
+                                     : (window * 4 > 65536 ? window * 4 : 65536);
+      // Round up to whole windows; ids are delivery order.
+      const std::size_t cycles = (target + window - 1) / window;
+      std::vector<Command> workload = psmr::make_kv_workload_zipf(
+          service, cycles * window, kWritePct, kKeySpace, theta,
+          /*seed=*/42 + static_cast<std::uint64_t>(theta * 100));
+      for (std::size_t i = 0; i < workload.size(); ++i) workload[i].id = i;
+
+      for (const CosKind kind : kinds) {
+        const char* variant = psmr::cos_kind_name(kind);
+        const double scan =
+            measure_insert_mops(kind, /*indexed=*/false, window, workload);
+        const double indexed =
+            measure_insert_mops(kind, /*indexed=*/true, window, workload);
+        const double speedup = indexed / scan;
+        std::printf("%-15s %8zu %6.2f %12.3f %12.3f %8.2fx\n", variant,
+                    window, theta, scan, indexed, speedup);
+
+        char series[96];
+        std::snprintf(series, sizeof(series), "insert/%s/theta=%.2f/scan",
+                      variant, theta);
+        psmr::bench::csv_row("ablation_index", "real", series,
+                             static_cast<double>(window), scan);
+        std::snprintf(series, sizeof(series), "insert/%s/theta=%.2f/indexed",
+                      variant, theta);
+        psmr::bench::csv_row("ablation_index", "real", series,
+                             static_cast<double>(window), indexed);
+        std::snprintf(series, sizeof(series), "speedup/%s/theta=%.2f",
+                      variant, theta);
+        psmr::bench::csv_row("ablation_index", "real", series,
+                             static_cast<double>(window), speedup);
+      }
+    }
+  }
+
+  psmr::bench::csv_flush();
+  if (!psmr::bench::json_flush(options)) return 1;
+  const int regressions = psmr::bench::run_compare("ablation_index", options);
+  return regressions == 0 ? 0 : 1;
+}

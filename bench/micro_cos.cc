@@ -12,12 +12,15 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/semaphore.h"
 #include "cos/factory.h"
+#include "app/kv_service.h"
 #include "app/linked_list_service.h"
 #include "memory/ebr.h"
+#include "workload/generator.h"
 
 namespace {
 
@@ -72,6 +75,33 @@ void BM_CosInsertOnly(benchmark::State& state) {
   state.SetLabel(psmr::cos_kind_name(kind));
 }
 
+// Scheduler-side insert cost on a keyed workload at a full window, with the
+// key-indexed dependency tracker on or off. Each iteration fills the window
+// (timed) and drains it single-threaded (untimed); items/s is the keyed
+// insert throughput the acceptance gate cares about.
+void BM_CosInsertKeyed(benchmark::State& state) {
+  const auto kind = static_cast<CosKind>(state.range(0));
+  const auto window = static_cast<std::size_t>(state.range(1));
+  const bool indexed = state.range(2) != 0;
+  constexpr std::uint64_t kKeySpace = 16384;
+  psmr::KvService service(/*shard_count=*/kKeySpace);
+  std::vector<Command> workload = psmr::make_kv_workload(
+      service, window, /*write_pct=*/20.0, kKeySpace, /*seed=*/42);
+  for (std::size_t i = 0; i < workload.size(); ++i) workload[i].id = i + 1;
+
+  auto cos = psmr::make_cos(kind, window, psmr::keyset_rw_conflict, indexed);
+  for (auto _ : state) {
+    for (const Command& c : workload) cos->insert(c);
+    state.PauseTiming();
+    for (std::size_t i = 0; i < window; ++i) cos->remove(cos->get());
+    state.ResumeTiming();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(window));
+  state.SetLabel(std::string(psmr::cos_kind_name(kind)) +
+                 (indexed ? "/indexed" : "/scan"));
+}
+
 void BM_EbrPin(benchmark::State& state) {
   psmr::EbrDomain domain;
   for (auto _ : state) {
@@ -112,6 +142,16 @@ void cos_cycle_args(benchmark::internal::Benchmark* bench) {
   }
 }
 
+void cos_insert_keyed_args(benchmark::internal::Benchmark* bench) {
+  for (int kind = 0; kind < 4; ++kind) {
+    for (int window : {512, 8192}) {
+      for (int indexed : {0, 1}) {
+        bench->Args({kind, window, indexed});
+      }
+    }
+  }
+}
+
 }  // namespace
 
 BENCHMARK(BM_CosCycle)->Apply(cos_cycle_args)->Unit(benchmark::kNanosecond);
@@ -120,6 +160,9 @@ BENCHMARK(BM_CosInsertOnly)
     ->Arg(1)
     ->Arg(2)
     ->Unit(benchmark::kNanosecond);
+BENCHMARK(BM_CosInsertKeyed)
+    ->Apply(cos_insert_keyed_args)
+    ->Unit(benchmark::kMicrosecond);
 BENCHMARK(BM_EbrPin)->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_EbrRetireFlushCycle)->Unit(benchmark::kNanosecond);
 BENCHMARK(BM_Semaphore)->Unit(benchmark::kNanosecond);

@@ -21,9 +21,10 @@ Response BankService::execute(const Command& c) {
       r.value = balances_[c.keys[0]];
       r.ok = true;
       break;
-    case kTransfer: {
-      auto& from = balances_[c.keys[0]];
-      auto& to = balances_[c.keys[1]];
+    case kTransfer:
+    case kTransferReversed: {
+      auto& from = balances_[c.keys[c.op == kTransfer ? 0 : 1]];
+      auto& to = balances_[c.keys[c.op == kTransfer ? 1 : 0]];
       const std::uint64_t moved = std::min<std::uint64_t>(c.arg, from);
       from -= moved;
       to += moved;
@@ -95,11 +96,11 @@ Command BankService::make_deposit(std::uint64_t account, std::uint64_t amount) {
 Command BankService::make_transfer(std::uint64_t from, std::uint64_t to,
                                    std::uint64_t amount) {
   Command c;
-  c.op = kTransfer;
+  c.op = from <= to ? kTransfer : kTransferReversed;
   c.mode = AccessMode::kWrite;
   c.nkeys = 2;
-  c.keys[0] = from;
-  c.keys[1] = to;
+  c.keys[0] = std::min(from, to);
+  c.keys[1] = std::max(from, to);
   c.arg = amount;
   return c;
 }

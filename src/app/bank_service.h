@@ -16,7 +16,15 @@ namespace psmr {
 
 class BankService final : public Service {
  public:
-  enum Op : std::uint16_t { kBalance = 1, kDeposit = 2, kTransfer = 3 };
+  // Transfers keep keys[] sorted (the Command invariant): kTransfer moves
+  // keys[0] -> keys[1], kTransferReversed moves keys[1] -> keys[0];
+  // make_transfer picks the opcode that matches the account order.
+  enum Op : std::uint16_t {
+    kBalance = 1,
+    kDeposit = 2,
+    kTransfer = 3,
+    kTransferReversed = 4,
+  };
 
   BankService(std::size_t accounts, std::uint64_t initial_balance);
 

@@ -1,5 +1,7 @@
 #include "codec/command_codec.h"
 
+#include <algorithm>
+
 namespace psmr {
 
 void encode_command(const Command& c, ByteWriter& out) {
@@ -8,10 +10,13 @@ void encode_command(const Command& c, ByteWriter& out) {
   out.put_varint(c.client_seq);
   out.put_u16(c.op);
   out.put_u8(static_cast<std::uint8_t>(c.mode));
-  out.put_u8(c.nkeys);
-  for (std::uint8_t i = 0; i < c.nkeys && i < c.keys.size(); ++i) {
-    out.put_varint(c.keys[i]);
-  }
+  // Packed keys byte: low nibble = nkeys (conflict keys), high nibble =
+  // total keys encoded. Slots past nkeys are service payload (e.g. the KV
+  // user key); trailing zero slots are elided.
+  std::uint8_t total = static_cast<std::uint8_t>(c.keys.size());
+  while (total > c.nkeys && c.keys[total - 1] == 0) --total;
+  out.put_u8(static_cast<std::uint8_t>(c.nkeys | (total << 4)));
+  for (std::uint8_t i = 0; i < total; ++i) out.put_varint(c.keys[i]);
   out.put_varint(c.arg);
 }
 
@@ -24,9 +29,16 @@ bool decode_command(ByteReader& in, Command* out) {
   const std::uint8_t mode = in.get_u8();
   if (mode > 1) return false;
   c.mode = static_cast<AccessMode>(mode);
-  c.nkeys = in.get_u8();
-  if (c.nkeys > c.keys.size()) return false;
-  for (std::uint8_t i = 0; i < c.nkeys; ++i) c.keys[i] = in.get_varint();
+  const std::uint8_t packed = in.get_u8();
+  c.nkeys = packed & 0x0f;
+  const std::uint8_t total = packed >> 4;
+  if (c.nkeys > c.keys.size() || total > c.keys.size() || total < c.nkeys) {
+    return false;
+  }
+  for (std::uint8_t i = 0; i < total; ++i) c.keys[i] = in.get_varint();
+  // Re-establish the Command invariant locally rather than trusting the
+  // peer: conflict keys sorted ascending.
+  std::sort(c.keys.begin(), c.keys.begin() + c.nkeys);
   c.arg = in.get_varint();
   if (!in.ok()) return false;
   *out = c;

@@ -5,6 +5,7 @@
 // experiments are reproducible run-to-run.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 namespace psmr {
@@ -58,6 +59,44 @@ class Xoshiro256 {
     return (x << k) | (x >> (64 - k));
   }
   std::uint64_t state_[4];
+};
+
+// Zipf-distributed integers in [0, n) with skew theta in [0, 1) — the
+// classic Gray et al. zipfian generator (as popularized by YCSB). theta = 0
+// degenerates to uniform; theta -> 1 concentrates mass on few hot keys.
+// Construction is O(n) (harmonic sum); draws are O(1). Item 0 is the
+// hottest key; callers wanting scattered hot keys should hash the result.
+class ZipfGenerator {
+ public:
+  ZipfGenerator(std::uint64_t n, double theta) : n_(n), theta_(theta) {
+    if (theta_ <= 0.0) return;  // uniform mode
+    for (std::uint64_t i = 0; i < n_; ++i) {
+      zetan_ += 1.0 / std::pow(static_cast<double>(i + 1), theta_);
+    }
+    const double zeta2 = 1.0 + std::pow(0.5, theta_);
+    alpha_ = 1.0 / (1.0 - theta_);
+    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+           (1.0 - zeta2 / zetan_);
+  }
+
+  std::uint64_t operator()(Xoshiro256& rng) {
+    if (theta_ <= 0.0) return rng.below(n_);
+    const double u = rng.uniform();
+    const double uz = u * zetan_;
+    if (uz < 1.0) return 0;
+    if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+    const auto pick = static_cast<std::uint64_t>(
+        static_cast<double>(n_) *
+        std::pow(eta_ * u - eta_ + 1.0, alpha_));
+    return pick < n_ ? pick : n_ - 1;
+  }
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_ = 0.0;
+  double alpha_ = 0.0;
+  double eta_ = 0.0;
 };
 
 }  // namespace psmr

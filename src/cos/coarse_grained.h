@@ -13,23 +13,29 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <list>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "cos/cos.h"
+#include "cos/dep_tracker.h"
 
 namespace psmr {
 
 class CoarseGrainedCos final : public Cos {
  public:
-  CoarseGrainedCos(std::size_t max_size, ConflictFn conflict);
+  CoarseGrainedCos(std::size_t max_size, ConflictFn conflict,
+                   bool indexed = true);
   ~CoarseGrainedCos() override;
 
   bool insert(const Command& c) override;
   CosHandle get() override;
   void remove(CosHandle h) override;
   void close() override;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> debug_edges() override;
 
   std::size_t capacity() const override { return max_size_; }
   std::size_t approx_size() const override;
@@ -41,12 +47,19 @@ class CoarseGrainedCos final : public Cos {
     Command cmd;
     bool executing = false;
     int pending_in = 0;               // number of unresolved dependencies
+    std::uint64_t probe_stamp = 0;    // last insert that saw this node (dedup)
     std::vector<Node*> out;           // later nodes that depend on this one
     std::list<Node>::iterator self;   // for O(1) erase in remove()
   };
 
   const std::size_t max_size_;
   const ConflictFn conflict_;
+  // Non-null iff the relation is per-key-decomposable and indexing is on;
+  // then index_ holds every live node under mu_ and insert probes it
+  // instead of scanning nodes_.
+  const KeyExtractor extract_;
+  KeyIndex index_;
+  std::uint64_t probe_seq_ = 0;
 
   mutable std::mutex mu_;
   std::condition_variable not_full_;   // "nFull" in the paper

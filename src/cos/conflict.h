@@ -3,7 +3,17 @@
 // Two commands conflict if they access a common variable and at least one
 // writes it. The relation is a plain function pointer so the hot path of all
 // three COS implementations pays one indirect call per pair, identically.
+//
+// Relations over explicit key sets can additionally expose a *key extractor*
+// (conflict_key_extractor below). A relation with an extractor is
+// per-key-decomposable: a # b iff some key is shared and the per-key
+// write condition holds. The COS implementations use the extractor to drive
+// the key-indexed dependency tracker (dep_tracker.h), replacing the O(n)
+// pairwise insert scan with O(k) index probes; opaque relations (rw_conflict,
+// always/never_conflict) keep the pairwise scan.
 #pragma once
+
+#include <span>
 
 #include "cos/command.h"
 
@@ -20,12 +30,19 @@ inline bool rw_conflict(const Command& a, const Command& b) {
 
 // Keyset-based relation: conflict iff the key sets intersect and at least
 // one command writes. Used by the KV and bank services, where commands name
-// the state they touch.
+// the state they touch. Relies on the Command invariant that
+// keys[0..nkeys) is sorted ascending (see command.h): the intersection is a
+// linear merge instead of the former O(k²) nested loop.
 inline bool keyset_rw_conflict(const Command& a, const Command& b) {
   if (!is_write(a) && !is_write(b)) return false;
-  for (std::uint8_t i = 0; i < a.nkeys; ++i) {
-    for (std::uint8_t j = 0; j < b.nkeys; ++j) {
-      if (a.keys[i] == b.keys[j]) return true;
+  std::uint8_t i = 0;
+  std::uint8_t j = 0;
+  while (i < a.nkeys && j < b.nkeys) {
+    if (a.keys[i] == b.keys[j]) return true;
+    if (a.keys[i] < b.keys[j]) {
+      ++i;
+    } else {
+      ++j;
     }
   }
   return false;
@@ -36,5 +53,31 @@ inline bool keyset_rw_conflict(const Command& a, const Command& b) {
 // relation allows unlimited parallelism.
 inline bool always_conflict(const Command&, const Command&) { return true; }
 inline bool never_conflict(const Command&, const Command&) { return false; }
+
+// ---------------------------------------------------------------------------
+// Key extraction for per-key-decomposable relations.
+// ---------------------------------------------------------------------------
+
+// A command's accesses as seen by a keyed relation: the (sorted) conflict
+// keys and whether the command writes them. The decomposition contract is
+//   fn(a, b) == (a.write || b.write) && keys(a) ∩ keys(b) ≠ ∅
+// which keyset_rw_conflict satisfies by definition.
+struct KeyedAccess {
+  std::span<const std::uint64_t> keys;  // sorted ascending
+  bool write = false;
+};
+
+using KeyExtractor = KeyedAccess (*)(const Command&);
+
+inline KeyedAccess keyset_access(const Command& c) {
+  return {std::span<const std::uint64_t>(c.keys.data(), c.nkeys), is_write(c)};
+}
+
+// Returns the key extractor for per-key-decomposable relations, nullptr for
+// opaque ones. The COS factory's `indexed` toggle only takes effect when the
+// relation is decomposable; everything else falls back to the pairwise scan.
+inline KeyExtractor conflict_key_extractor(ConflictFn fn) {
+  return fn == keyset_rw_conflict ? &keyset_access : nullptr;
+}
 
 }  // namespace psmr

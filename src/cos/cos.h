@@ -18,6 +18,8 @@
 #include <cstddef>
 #include <cstdint>
 #include <span>
+#include <utility>
+#include <vector>
 
 #include "cos/command.h"
 #include "cos/conflict.h"
@@ -63,6 +65,14 @@ class Cos {
 
   // Unblocks all pending and future insert()/get() calls. Idempotent.
   virtual void close() = 0;
+
+  // Testing hook: the current dependency edges as (dependency id,
+  // dependent id) pairs, sorted ascending. Callers must guarantee
+  // quiescence — no concurrent insert/get/remove. Used by the
+  // indexed-vs-scan equivalence tests; not part of the COS specification.
+  virtual std::vector<std::pair<std::uint64_t, std::uint64_t>> debug_edges() {
+    return {};
+  }
 
   virtual std::size_t capacity() const = 0;
 

@@ -8,16 +8,18 @@
 namespace psmr {
 
 std::unique_ptr<Cos> make_cos(CosKind kind, std::size_t max_size,
-                              ConflictFn conflict) {
+                              ConflictFn conflict, bool indexed) {
   switch (kind) {
     case CosKind::kCoarseGrained:
-      return std::make_unique<CoarseGrainedCos>(max_size, conflict);
+      return std::make_unique<CoarseGrainedCos>(max_size, conflict, indexed);
     case CosKind::kFineGrained:
-      return std::make_unique<FineGrainedCos>(max_size, conflict);
+      return std::make_unique<FineGrainedCos>(max_size, conflict, indexed);
     case CosKind::kLockFree:
-      return std::make_unique<LockFreeCos>(max_size, conflict);
+      return std::make_unique<LockFreeCos>(max_size, conflict,
+                                           LockFreeReclaim::kEpoch, indexed);
     case CosKind::kStriped:
-      return std::make_unique<StripedCos>(max_size, conflict);
+      return std::make_unique<StripedCos>(max_size, conflict,
+                                          /*segment_width=*/16, indexed);
   }
   return nullptr;
 }

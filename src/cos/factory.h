@@ -19,8 +19,11 @@ enum class CosKind {
 // The paper fixes the dependency graph at 150 node slots for all techniques.
 inline constexpr std::size_t kPaperGraphSize = 150;
 
+// `indexed` enables the key-indexed dependency tracker (dep_tracker.h) for
+// per-key-decomposable relations; opaque relations fall back to the
+// pairwise insert scan regardless, so leaving it on is always safe.
 std::unique_ptr<Cos> make_cos(CosKind kind, std::size_t max_size,
-                              ConflictFn conflict);
+                              ConflictFn conflict, bool indexed = true);
 
 // Parses "coarse-grained" / "fine-grained" / "lock-free" (also accepts
 // "coarse", "fine", "lockfree"). Returns false on unknown names.

@@ -1,12 +1,16 @@
 #include "cos/fine_grained.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace psmr {
 
-FineGrainedCos::FineGrainedCos(std::size_t max_size, ConflictFn conflict)
+FineGrainedCos::FineGrainedCos(std::size_t max_size, ConflictFn conflict,
+                               bool indexed)
     : max_size_(max_size),
       conflict_(conflict),
+      extract_(indexed ? conflict_key_extractor(conflict) : nullptr),
+      index_(extract_ != nullptr ? max_size : 1),
       space_(static_cast<std::ptrdiff_t>(max_size)),
       ready_(0) {}
 
@@ -24,6 +28,7 @@ FineGrainedCos::~FineGrainedCos() {
 
 bool FineGrainedCos::insert(const Command& c) {
   if (!space_.acquire()) return false;  // closed
+  if (extract_ != nullptr) return insert_indexed(c);
 
   // The new node is locked for the whole traversal (Alg. 4 line 4); it is
   // unreachable until linked, so this never contends.
@@ -52,6 +57,80 @@ bool FineGrainedCos::insert(const Command& c) {
   const bool is_ready = added->in_count == 0;
   prev_lock.unlock();
   added_lock.unlock();
+  if (is_ready) ready_.release();
+  return true;
+}
+
+// Indexed insert. The pairwise scan's hand-over-hand walk is also a moving
+// barrier: no remover can overtake it, which is what makes "record edge,
+// then link" safe. The indexed path has no such barrier, so it inverts the
+// order — link first, hidden behind executing=true, then wire edges:
+//
+//   1. Take index_mu_. While it is held no node can be freed (remove()'s
+//      deletion fence), so index entries may be dereferenced safely.
+//   2. Link at the tail (tail_ shortcut; re-read until live). The node is
+//      reachable but executing=true hides it from get(), and a concurrent
+//      remove() phase 2 that decrements it will not count it as freed.
+//   3. Probe the index: for each live candidate (checked under its mx —
+//      defunct nodes are skipped and pruned), record the edge and bump
+//      in_count *under the candidate's lock*, so a subsequent removal of
+//      the candidate is guaranteed to observe the edge and deliver the
+//      decrement (the phase-2 walk reaches us: we are already linked).
+//   4. Publish: drop executing under our own lock; if in_count is 0 —
+//      every recorded dependency already delivered its decrement — release
+//      the ready permit ourselves. Otherwise the final decrement does
+//      (it sees executing == false). Exactly one side releases.
+//
+// Deadlock-freedom: index_mu_ precedes all node locks (removers only take
+// it with no node locks held); node locks nest in list order only (a
+// candidate precedes the just-linked tail node).
+bool FineGrainedCos::insert_indexed(const Command& c) {
+  auto* added = new Node(c);
+  added->executing = true;  // hidden until fully wired (no lock needed yet)
+  const KeyedAccess acc = extract_(c);
+
+  std::unique_lock fence(index_mu_);
+  const std::uint64_t stamp = ++probe_seq_;
+  while (true) {
+    Node* tail = tail_.load(std::memory_order_acquire);
+    std::unique_lock tail_lock(tail->mx);
+    // tail_ may be stale: the node could have been unlinked (defunct) or a
+    // removal repaired tail_ to a node that has since gained a successor.
+    // Each retry observes a strictly older list position, and &head_ is
+    // never defunct, so this terminates.
+    if (!tail->defunct && tail->next == nullptr) {
+      tail->next = added;
+      tail_.store(added, std::memory_order_release);
+      break;
+    }
+  }
+
+  index_.for_each_conflicting(
+      acc.keys, acc.write, [&](const KeyIndex::Entry& e) {
+        Node* dep = static_cast<Node*>(e.node);
+        if (dep->probe_stamp == stamp) return true;  // seen via another key
+        std::unique_lock dep_lock(dep->mx);
+        if (dep->defunct) return false;  // mid-removal: no edge, prune entry
+        dep->probe_stamp = stamp;
+        dep->out.insert(added);
+        {
+          // Nested inside dep's lock so dep's removal cannot slip between
+          // the edge record and the increment.
+          std::lock_guard added_lock(added->mx);
+          ++added->in_count;
+        }
+        return true;
+      });
+  index_.add(acc.keys, acc.write, added);
+  fence.unlock();
+
+  population_.fetch_add(1, std::memory_order_relaxed);
+  bool is_ready = false;
+  {
+    std::lock_guard added_lock(added->mx);
+    added->executing = false;
+    is_ready = added->in_count == 0;
+  }
   if (is_ready) ready_.release();
   return true;
 }
@@ -95,7 +174,15 @@ void FineGrainedCos::remove(CosHandle h) {
     prev = cur;
   }
   std::unique_lock node_lock(node->mx);
+  node->defunct = true;  // indexed inserts holding a stale entry now skip us
   prev->next = node->next;
+  // Repair the inserter's tail shortcut while holding both locks: the
+  // inserter compares/links under the tail node's mx, so it either sees the
+  // repaired value or finds `node` defunct and retries.
+  if (extract_ != nullptr &&
+      tail_.load(std::memory_order_relaxed) == node) {
+    tail_.store(prev, std::memory_order_release);
+  }
   Node* successor = node->next;
   // Lock the successor *before* releasing prev: a thread may only wait on
   // (or delete) a node while holding its list predecessor, which for the
@@ -126,10 +213,32 @@ void FineGrainedCos::remove(CosHandle h) {
   }
 
   node_lock.unlock();
+  if (walk_lock.owns_lock()) walk_lock.unlock();
+  if (extract_ != nullptr) {
+    // Deletion fence: with *no node locks held* (index_mu_ precedes node
+    // locks in the hierarchy), wait out any inserter that may still hold an
+    // index entry naming this node, and purge the entries. Only after this
+    // is the memory safe to free.
+    std::lock_guard fence(index_mu_);
+    index_.remove(extract_(node->cmd).keys, node);
+  }
   delete node;
   population_.fetch_sub(1, std::memory_order_relaxed);
   ready_.release(freed);
   space_.release();
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+FineGrainedCos::debug_edges() {
+  // Requires quiescence (no concurrent operations), like the destructor.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  for (Node* node = head_.next; node != nullptr; node = node->next) {
+    for (const Node* dependent : node->out) {
+      edges.emplace_back(node->cmd.id, dependent->cmd.id);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
 }
 
 void FineGrainedCos::close() {

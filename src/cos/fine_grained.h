@@ -23,23 +23,30 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <mutex>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 #include "common/semaphore.h"
 #include "cos/cos.h"
+#include "cos/dep_tracker.h"
 
 namespace psmr {
 
 class FineGrainedCos final : public Cos {
  public:
-  FineGrainedCos(std::size_t max_size, ConflictFn conflict);
+  FineGrainedCos(std::size_t max_size, ConflictFn conflict,
+                 bool indexed = true);
   ~FineGrainedCos() override;
 
   bool insert(const Command& c) override;
   CosHandle get() override;
   void remove(CosHandle h) override;
   void close() override;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> debug_edges() override;
 
   std::size_t capacity() const override { return max_size_; }
   std::size_t approx_size() const override {
@@ -56,15 +63,40 @@ class FineGrainedCos final : public Cos {
     std::mutex mx;
     // All fields below are guarded by `mx`, except `out`, which is guarded
     // by the *owning* node's mx (edges from this node are added/queried only
-    // while this node is locked).
+    // while this node is locked), and `probe_stamp`, which only the insert
+    // thread touches.
     bool executing = false;
+    // Set (under mx) in remove() phase 1, just before unlinking. The
+    // indexed insert checks it to skip nodes mid-removal; a *linked* node
+    // always has defunct == false.
+    bool defunct = false;
     int in_count = 0;
+    std::uint64_t probe_stamp = 0;  // insert-thread-only probe de-dup
     std::unordered_set<Node*> out;  // later nodes depending on this one
     Node* next = nullptr;
   };
 
+  // Indexed insert path; see the locking argument in DESIGN.md. Lock
+  // hierarchy: index_mu_ before any node mutex; node mutexes in list order.
+  bool insert_indexed(const Command& c);
+
   const std::size_t max_size_;
   const ConflictFn conflict_;
+  const KeyExtractor extract_;
+
+  // index_mu_ guards index_ *and* doubles as the deletion fence: remove()
+  // acquires it (holding no node locks) after unlinking, purges the node's
+  // index entries, and only then frees the node — so the insert thread,
+  // which holds index_mu_ across its whole probe, can dereference any
+  // pointer it reads from the index without use-after-free.
+  std::mutex index_mu_;
+  KeyIndex index_;
+  std::uint64_t probe_seq_ = 0;
+  // Last linked node (or &head_). Written by the inserter under index_mu_ +
+  // the tail node's mx; repaired by remove() (to the predecessor) under the
+  // node's and predecessor's mx. May be stale when the inserter reads it —
+  // the link loop re-reads until it holds a live tail.
+  std::atomic<Node*> tail_{&head_};
 
   Semaphore space_;
   Semaphore ready_;

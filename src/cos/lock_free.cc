@@ -1,5 +1,6 @@
 #include "cos/lock_free.h"
 
+#include <algorithm>
 #include <thread>
 
 namespace psmr {
@@ -7,10 +8,12 @@ namespace psmr {
 LockFreeCos::Node::~Node() { delete[] dep_me.load(std::memory_order_relaxed); }
 
 LockFreeCos::LockFreeCos(std::size_t max_size, ConflictFn conflict,
-                         LockFreeReclaim reclaim)
+                         LockFreeReclaim reclaim, bool indexed)
     : max_size_(max_size),
       conflict_(conflict),
       reclaim_(reclaim),
+      extract_(indexed ? conflict_key_extractor(conflict) : nullptr),
+      index_(extract_ != nullptr ? max_size : 1),
       space_(static_cast<std::ptrdiff_t>(max_size)),
       ready_(0) {}
 
@@ -144,6 +147,9 @@ void LockFreeCos::append_dependent(Node* node, Node* dependent) {
 // `gone` out of its dependents' dep_on sets, bypasses it in the list, and
 // retires its memory to the epoch domain.
 void LockFreeCos::helped_remove(Node* gone, Node* prev) {
+  // Purge the index entries *before* the node is retired; probes may have
+  // already pruned some of them lazily.
+  if (extract_ != nullptr) index_.remove(extract_(gone->cmd).keys, gone);
   const std::size_t dependents =
       gone->dep_me_count.load(std::memory_order_seq_cst);
   std::atomic<Node*>* dep_me = gone->dep_me.load(std::memory_order_seq_cst);
@@ -174,7 +180,85 @@ void LockFreeCos::helped_remove(Node* gone, Node* prev) {
   }
 }
 
+// Indexed variant of lf_insert: dependency discovery via the key index
+// instead of the list walk. The publication protocol — dep_me appends
+// (seq_cst), exact dep_on materialization, link, ins -> wtg, test_ready —
+// is byte-for-byte the same as the walking path; the exact-once permit
+// accounting argument in test_ready only depends on that ordering, not on
+// how the dependencies were discovered. Entries naming logically removed
+// nodes are pruned by the probe; physical unlinking is deferred to
+// sweep_removed(), which runs when half the window is logical garbage.
+int LockFreeCos::lf_insert_indexed(const Command& c) {
+  auto* added = new Node(c);
+  auto guard = ebr_.pin();
+
+  if (rmd_pending_.load(std::memory_order_relaxed) >= sweep_threshold()) {
+    sweep_removed();
+  }
+
+  scratch_deps_.clear();
+  const KeyedAccess acc = extract_(c);
+  const std::uint64_t stamp = ++probe_seq_;
+  index_.for_each_conflicting(
+      acc.keys, acc.write, [&](const KeyIndex::Entry& e) {
+        Node* node = static_cast<Node*>(e.node);
+        if (node->probe_stamp == stamp) return true;  // seen via another key
+        if (node->st.load(std::memory_order_seq_cst) == kRmd) {
+          return false;  // logically removed: no edge, prune the entry
+        }
+        node->probe_stamp = stamp;
+        scratch_deps_.push_back(node);
+        append_dependent(node, added);
+        return true;
+      });
+
+  added->dep_on_count = scratch_deps_.size();
+  if (!scratch_deps_.empty()) {
+    added->dep_on =
+        std::make_unique<std::atomic<Node*>[]>(scratch_deps_.size());
+    for (std::size_t i = 0; i < scratch_deps_.size(); ++i) {
+      added->dep_on[i].store(scratch_deps_[i], std::memory_order_relaxed);
+    }
+  }
+
+  // Link at the tail shortcut (inserter-only; sweep_removed repairs it).
+  // The tail node may be logically removed — linking after it is still
+  // correct, it is simply bypassed at the next sweep.
+  if (tail_ == nullptr) {
+    head_.store(added, std::memory_order_seq_cst);
+  } else {
+    tail_->nxt.store(added, std::memory_order_seq_cst);
+  }
+  tail_ = added;
+  index_.add(acc.keys, acc.write, added);
+  population_.fetch_add(1, std::memory_order_relaxed);
+  added->st.store(kWtg, std::memory_order_seq_cst);
+  return test_ready(added);
+}
+
+void LockFreeCos::sweep_removed() {
+  std::size_t helped = 0;
+  Node* prev = nullptr;
+  Node* cur = head_.load(std::memory_order_seq_cst);
+  while (cur != nullptr) {
+    Node* next = cur->nxt.load(std::memory_order_seq_cst);
+    if (cur->st.load(std::memory_order_seq_cst) == kRmd) {
+      helped_remove(cur, prev);
+      ++helped;
+      cur = next;
+      continue;
+    }
+    prev = cur;
+    cur = next;
+  }
+  tail_ = prev;  // last live node (nullptr when the list emptied)
+  if (helped > 0) {
+    rmd_pending_.fetch_sub(helped, std::memory_order_relaxed);
+  }
+}
+
 int LockFreeCos::lf_insert(const Command& c) {
+  if (extract_ != nullptr) return lf_insert_indexed(c);
   auto* added = new Node(c);
   auto guard = ebr_.pin();
 
@@ -230,6 +314,15 @@ int LockFreeCos::lf_insert(const Command& c) {
 // recorded in an unpublished node's dep_me bounces off the ins state.
 int LockFreeCos::lf_insert_batch(std::span<const Command> batch) {
   if (batch.empty()) return 0;
+  if (extract_ != nullptr) {
+    // Indexed mode: per-command indexed inserts. Intra-batch edges arise
+    // naturally — each command is indexed before the next one probes. The
+    // single-traversal amortization below only pays off for the O(n) walk,
+    // which the index already eliminated.
+    int ready_nodes = 0;
+    for (const Command& c : batch) ready_nodes += lf_insert_indexed(c);
+    return ready_nodes;
+  }
   auto guard = ebr_.pin();
 
   std::vector<Node*> added;
@@ -290,6 +383,27 @@ int LockFreeCos::lf_insert_batch(std::span<const Command> batch) {
   return ready_nodes;
 }
 
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+LockFreeCos::debug_edges() {
+  // Requires quiescence. Live nodes' dep_me entries are all live: a
+  // dependent cannot execute (and so cannot be removed) before every one of
+  // its dependencies was removed.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
+  auto guard = ebr_.pin();
+  for (Node* cur = head_.load(std::memory_order_seq_cst); cur != nullptr;
+       cur = cur->nxt.load(std::memory_order_seq_cst)) {
+    if (cur->st.load(std::memory_order_seq_cst) == kRmd) continue;
+    const std::size_t count = cur->dep_me_count.load(std::memory_order_seq_cst);
+    std::atomic<Node*>* dep_me = cur->dep_me.load(std::memory_order_seq_cst);
+    for (std::size_t i = 0; i < count; ++i) {
+      Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+      edges.emplace_back(cur->cmd.id, dependent->cmd.id);
+    }
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
 LockFreeCos::Node* LockFreeCos::lf_get() {
   while (true) {
     {
@@ -315,6 +429,9 @@ LockFreeCos::Node* LockFreeCos::lf_get() {
 int LockFreeCos::lf_remove(Node* n) {
   auto guard = ebr_.pin();
   n->st.store(kRmd, std::memory_order_seq_cst);  // logical removal
+  if (extract_ != nullptr) {
+    rmd_pending_.fetch_add(1, std::memory_order_relaxed);
+  }
   population_.fetch_sub(1, std::memory_order_relaxed);
   int ready_nodes = 0;
   const std::size_t dependents =

@@ -38,10 +38,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "common/semaphore.h"
 #include "cos/cos.h"
+#include "cos/dep_tracker.h"
 #include "memory/ebr.h"
 
 namespace psmr {
@@ -54,7 +56,8 @@ enum class LockFreeReclaim : std::uint8_t {
 class LockFreeCos final : public Cos {
  public:
   LockFreeCos(std::size_t max_size, ConflictFn conflict,
-              LockFreeReclaim reclaim = LockFreeReclaim::kEpoch);
+              LockFreeReclaim reclaim = LockFreeReclaim::kEpoch,
+              bool indexed = true);
   ~LockFreeCos() override;
 
   bool insert(const Command& c) override;
@@ -62,6 +65,8 @@ class LockFreeCos final : public Cos {
   CosHandle get() override;
   void remove(CosHandle h) override;
   void close() override;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> debug_edges() override;
 
   std::size_t capacity() const override { return max_size_; }
   std::size_t approx_size() const override {
@@ -105,12 +110,15 @@ class LockFreeCos final : public Cos {
     std::atomic<std::size_t> dep_me_count{0};
     std::size_t dep_me_capacity = 0;  // insert thread only
 
+    std::uint64_t probe_stamp = 0;  // insert-thread-only probe de-dup
+
     std::atomic<Node*> nxt{nullptr};
   };
 
   // Lock-free layer (Alg. 7). Return values are the number of nodes that
   // became ready, to be published as `ready` permits by the blocking layer.
   int lf_insert(const Command& c);
+  int lf_insert_indexed(const Command& c);
   int lf_insert_batch(std::span<const Command> batch);
   Node* lf_get();
   int lf_remove(Node* n);
@@ -119,9 +127,26 @@ class LockFreeCos final : public Cos {
   void helped_remove(Node* gone, Node* prev);
   void append_dependent(Node* node, Node* dependent);
 
+  // Indexed mode: physically unlinks every logically removed node (the
+  // pairwise walk does this in passing; the indexed insert doesn't walk).
+  // Insert thread only. Triggered when rmd_pending_ crosses the threshold.
+  void sweep_removed();
+  std::size_t sweep_threshold() const {
+    return max_size_ / 2 > 64 ? max_size_ / 2 : 64;
+  }
+
   const std::size_t max_size_;
   const ConflictFn conflict_;
   const LockFreeReclaim reclaim_;
+  // Indexed mode. The index is touched *only* by the insert thread, and an
+  // entry's node is retired to the EBR domain strictly after helped_remove
+  // purged its entries — so entries may name logically removed (kRmd) nodes,
+  // which probes prune lazily, but never freed memory.
+  const KeyExtractor extract_;
+  KeyIndex index_;
+  std::uint64_t probe_seq_ = 0;            // inserter only
+  Node* tail_ = nullptr;                   // inserter only; last linked node
+  std::atomic<std::size_t> rmd_pending_{0};  // logical removals not yet swept
 
   Semaphore space_;
   Semaphore ready_;

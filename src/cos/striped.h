@@ -30,25 +30,30 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/semaphore.h"
 #include "cos/cos.h"
+#include "cos/dep_tracker.h"
 
 namespace psmr {
 
 class StripedCos final : public Cos {
  public:
   StripedCos(std::size_t max_size, ConflictFn conflict,
-             std::size_t segment_width = 16);
+             std::size_t segment_width = 16, bool indexed = true);
   ~StripedCos() override;
 
   bool insert(const Command& c) override;
   CosHandle get() override;
   void remove(CosHandle h) override;
   void close() override;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> debug_edges() override;
 
   std::size_t capacity() const override { return max_size_; }
   std::size_t approx_size() const override {
@@ -67,6 +72,7 @@ class StripedCos final : public Cos {
     bool executing = false;
     bool removed = false;
     int in_count = 0;
+    std::uint64_t probe_stamp = 0;  // insert-thread-only probe de-dup
     std::vector<Node*> out;  // later nodes depending on this one
   };
 
@@ -88,9 +94,26 @@ class StripedCos final : public Cos {
            node.segment->used;
   }
 
+  // Reclaims fully dead non-tail segments (indexed mode only — the pairwise
+  // scan reclaims in passing, the indexed insert no longer walks). Insert
+  // thread only. Purges the dead segments' index entries before freeing.
+  void sweep_dead_segments();
+
   const std::size_t max_size_;
   const ConflictFn conflict_;
   const std::size_t segment_width_;
+  // Indexed mode. The index is touched *only* by the insert thread: entry
+  // nodes live in segments, and segments are freed only on the insert path
+  // (sweep_dead_segments), which purges their entries first — so an index
+  // entry can dangle onto a removed node (probes prune those lazily under
+  // its segment lock) but never onto freed memory.
+  const KeyExtractor extract_;
+  KeyIndex index_;
+  std::uint64_t probe_seq_ = 0;
+  // Segments that became fully dead in remove(); sweep trigger (indexed
+  // mode only). May transiently count the tail segment, which the sweep
+  // skips until it stops being the tail.
+  std::atomic<int> dead_segments_{0};
 
   Semaphore space_;
   Semaphore ready_;

@@ -22,7 +22,10 @@
 namespace psmr::wire {
 
 inline constexpr std::uint32_t kMagic = 0x524D5350u;  // "PSMR" as LE bytes
-inline constexpr std::uint16_t kWireVersion = 1;
+// v2: command key encoding changed to a packed nibble byte
+// (nkeys | total<<4) that also carries payload key slots; see
+// codec/command_codec.cc.
+inline constexpr std::uint16_t kWireVersion = 2;
 inline constexpr std::size_t kHelloBytes = 4 + 2 + 4;
 inline constexpr std::size_t kFrameHeaderBytes = 4;
 

@@ -42,6 +42,29 @@ std::vector<Command> make_kv_workload(const KvService& service,
   return commands;
 }
 
+std::vector<Command> make_kv_workload_zipf(const KvService& service,
+                                           std::size_t count, double write_pct,
+                                           std::uint64_t key_space,
+                                           double theta, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ZipfGenerator zipf(key_space, theta);
+  std::vector<Command> commands;
+  commands.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    // Scatter the zipf rank so hot keys are spread over the key space (and
+    // thus over the service's shards) instead of clustered near zero.
+    std::uint64_t mix = zipf(rng) + 0x9E3779B97F4A7C15ull;
+    mix = (mix ^ (mix >> 30)) * 0xBF58476D1CE4E5B9ull;
+    const std::uint64_t key = (mix ^ (mix >> 27)) % key_space;
+    if (rng.uniform() * 100.0 < write_pct) {
+      commands.push_back(service.make_put(key, rng()));
+    } else {
+      commands.push_back(service.make_get(key));
+    }
+  }
+  return commands;
+}
+
 std::vector<Command> make_bank_workload(std::size_t count, double write_pct,
                                         std::uint64_t accounts,
                                         std::uint64_t seed) {

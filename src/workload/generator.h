@@ -27,6 +27,15 @@ std::vector<Command> make_kv_workload(const KvService& service,
                                       std::uint64_t key_space,
                                       std::uint64_t seed);
 
+// Skewed KV workload: keys drawn Zipf(theta) over [0, key_space), then
+// scattered by a mix so hot keys don't cluster in one shard. theta = 0 is
+// uniform; theta = 0.99 is the YCSB-style heavy skew. Used by the
+// ablation_index bench to sweep key-space contention.
+std::vector<Command> make_kv_workload_zipf(const KvService& service,
+                                           std::size_t count, double write_pct,
+                                           std::uint64_t key_space,
+                                           double theta, std::uint64_t seed);
+
 // Bank workload: `write_pct` percent transfers between two distinct uniform
 // accounts, rest balance queries.
 std::vector<Command> make_bank_workload(std::size_t count, double write_pct,

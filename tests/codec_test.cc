@@ -338,11 +338,60 @@ TEST(GoldenBytes, CommandEncoding) {
       0x01, 0x02, 0x03,  // id, client, client_seq (varints)
       0x34, 0x12,        // op, u16 LE
       0x01,              // mode = kWrite
-      0x02,              // nkeys
+      0x22,              // packed keys: nkeys = 2, total encoded = 2
       0x05, 0xAC, 0x02,  // keys 5 and 300 (LEB128)
       0x80, 0x01,        // arg = 128 (LEB128)
   };
   EXPECT_EQ(w.bytes(), expected);
+}
+
+TEST(GoldenBytes, CommandEncodingCarriesPayloadKeys) {
+  // KV-style command: one conflict key (the shard) plus a payload key slot
+  // (the user key) that is not conflict-checked but must survive the wire.
+  Command c;
+  c.id = 1;
+  c.op = 7;
+  c.mode = AccessMode::kWrite;
+  c.nkeys = 1;
+  c.keys[0] = 4;
+  c.keys[1] = 300;
+  c.arg = 9;
+  ByteWriter w;
+  encode_command(c, w);
+  const std::vector<std::uint8_t> expected = {
+      0x01, 0x00, 0x00,  // id, client, client_seq
+      0x07, 0x00,        // op
+      0x01,              // mode = kWrite
+      0x21,              // packed keys: nkeys = 1, total encoded = 2
+      0x04, 0xAC, 0x02,  // shard 4, payload key 300
+      0x09,              // arg
+  };
+  EXPECT_EQ(w.bytes(), expected);
+
+  ByteReader r(w.bytes());
+  Command decoded;
+  ASSERT_TRUE(decode_command(r, &decoded));
+  EXPECT_EQ(decoded.keys[1], 300u);  // payload slot round-trips
+}
+
+TEST(CommandCodec, DecodeSortsConflictKeys) {
+  // Decoders re-establish the sorted-keys invariant instead of trusting the
+  // peer. Hand-craft an encoding with unsorted conflict keys.
+  ByteWriter w;
+  w.put_varint(1);  // id
+  w.put_varint(0);  // client
+  w.put_varint(0);  // client_seq
+  w.put_u16(3);     // op
+  w.put_u8(1);      // mode = kWrite
+  w.put_u8(static_cast<std::uint8_t>(2 | (2 << 4)));  // nkeys=2, total=2
+  w.put_varint(9);  // keys out of order
+  w.put_varint(7);
+  w.put_varint(0);  // arg
+  ByteReader r(w.bytes());
+  Command decoded;
+  ASSERT_TRUE(decode_command(r, &decoded));
+  EXPECT_EQ(decoded.keys[0], 7u);
+  EXPECT_EQ(decoded.keys[1], 9u);
 }
 
 TEST(GoldenBytes, ReplyMessageEncoding) {
@@ -361,7 +410,7 @@ TEST(GoldenBytes, TcpHelloLayout) {
   const std::vector<std::uint8_t> hello = wire::encode_hello(7);
   const std::vector<std::uint8_t> expected = {
       0x50, 0x53, 0x4D, 0x52,  // magic "PSMR"
-      0x01, 0x00,              // wire version 1
+      0x02, 0x00,              // wire version 2 (packed command key byte)
       0x07, 0x00, 0x00, 0x00,  // node id
   };
   EXPECT_EQ(hello, expected);
@@ -374,7 +423,7 @@ TEST(GoldenBytes, TcpHelloLayout) {
   bad[0] ^= 0xFF;  // corrupt magic
   EXPECT_FALSE(wire::decode_hello(bad.data(), &parsed));
   bad = hello;
-  bad[4] = 0x02;  // future wire version
+  bad[4] = 0x03;  // future wire version
   EXPECT_FALSE(wire::decode_hello(bad.data(), &parsed));
 }
 

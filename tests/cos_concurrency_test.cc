@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "app/bank_service.h"
 #include "app/linked_list_service.h"
 #include "common/rng.h"
 #include "cos/factory.h"
@@ -208,6 +209,78 @@ TEST_P(CosDeterminismTest, StateMatchesSequentialExecution) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllImplementations, CosDeterminismTest,
+                         ::testing::Values(CosKind::kCoarseGrained,
+                                           CosKind::kFineGrained,
+                                           CosKind::kLockFree,
+                                           CosKind::kStriped),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case CosKind::kCoarseGrained:
+                               return "CoarseGrained";
+                             case CosKind::kFineGrained:
+                               return "FineGrained";
+                             case CosKind::kLockFree:
+                               return "LockFree";
+                             case CosKind::kStriped:
+                               return "Striped";
+                           }
+                           return "Unknown";
+                         });
+
+// Keyed stress of the indexed dependency tracker under real concurrency:
+// scheduler inserting bank transfers/balances while workers execute and
+// remove. Exercises every variant's index-vs-removal synchronization
+// (eager prune under the coarse lock, the striped segment sweep, the
+// fine-grained deletion fence, lock-free lazy pruning + EBR), which the
+// single-threaded equivalence test cannot. Run under TSan this is the
+// data-race check for the tracker; the conserved total balance and the
+// sequential-reference digest catch missed or duplicated dependencies.
+class IndexedKeyedStressTest : public ::testing::TestWithParam<CosKind> {};
+
+TEST_P(IndexedKeyedStressTest, BankStateMatchesSequentialExecution) {
+  constexpr std::size_t kCommands = 20000;
+  constexpr std::size_t kAccounts = 64;
+  constexpr std::size_t kWindow = 64;
+  constexpr std::uint64_t kInitialBalance = 1000;
+  auto commands = make_bank_workload(kCommands, /*write_pct=*/40, kAccounts,
+                                     /*seed=*/4242);
+  for (std::size_t i = 0; i < kCommands; ++i) commands[i].id = i + 1;
+
+  BankService reference(kAccounts, kInitialBalance);
+  for (const Command& c : commands) reference.execute(c);
+
+  BankService service(kAccounts, kInitialBalance);
+  auto cos = make_cos(GetParam(), kWindow, keyset_rw_conflict,
+                      /*indexed=*/true);
+  std::thread scheduler([&] {
+    for (const Command& c : commands) {
+      if (!cos->insert(c)) return;
+    }
+  });
+  std::atomic<std::uint64_t> done{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 8; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        CosHandle h = cos->get();
+        if (!h) return;
+        service.execute(*h.cmd);
+        done.fetch_add(1);
+        cos->remove(h);
+      }
+    });
+  }
+  scheduler.join();
+  while (done.load() < kCommands) std::this_thread::yield();
+  cos->close();
+  for (auto& worker : workers) worker.join();
+
+  EXPECT_EQ(service.total_balance(), kAccounts * kInitialBalance);
+  EXPECT_EQ(service.state_digest(), reference.state_digest());
+  EXPECT_EQ(cos->approx_size(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllImplementations, IndexedKeyedStressTest,
                          ::testing::Values(CosKind::kCoarseGrained,
                                            CosKind::kFineGrained,
                                            CosKind::kLockFree,
