@@ -21,7 +21,7 @@ SequencedBroadcast::~SequencedBroadcast() { stop(); }
 void SequencedBroadcast::start() {
   if (started_.exchange(true)) return;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     last_leader_activity_ns_ = now_ns();
   }
   timer_ = std::thread([this] { timer_loop(); });
@@ -29,7 +29,7 @@ void SequencedBroadcast::start() {
 
 void SequencedBroadcast::stop() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -38,26 +38,26 @@ void SequencedBroadcast::stop() {
 }
 
 bool SequencedBroadcast::is_leader() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return leader_of(view_) == index_ && !view_changing_;
 }
 
 std::uint64_t SequencedBroadcast::view() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return view_;
 }
 
 std::uint64_t SequencedBroadcast::last_delivered() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return last_delivered_;
 }
 
 bool SequencedBroadcast::submit(const std::vector<Command>& cmds) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (leader_of(view_) != index_ || view_changing_) return false;
   if (pending_.empty()) pending_since_ns_ = now_ns();
   pending_.insert(pending_.end(), cmds.begin(), cmds.end());
-  if (pending_.size() >= config_.batch_max) propose_locked(lock);
+  if (pending_.size() >= config_.batch_max) propose_locked();
   return true;
 }
 
@@ -68,7 +68,7 @@ void SequencedBroadcast::broadcast_to_replicas_locked(const MessagePtr& m) {
   }
 }
 
-void SequencedBroadcast::propose_locked(std::unique_lock<std::mutex>& lock) {
+void SequencedBroadcast::propose_locked() {
   while (!pending_.empty()) {
     const std::size_t take = std::min(pending_.size(), config_.batch_max);
     std::vector<Command> batch(pending_.begin(),
@@ -90,11 +90,10 @@ void SequencedBroadcast::propose_locked(std::unique_lock<std::mutex>& lock) {
     }
     last_heartbeat_sent_ns_ = now_ns();  // proposals count as liveness
   }
-  try_deliver_locked(lock);
+  try_deliver_locked();
 }
 
-void SequencedBroadcast::try_deliver_locked(
-    std::unique_lock<std::mutex>& lock) {
+void SequencedBroadcast::try_deliver_locked() {
   if (delivering_) return;  // the active deliverer will pick up new commits
   delivering_ = true;
   while (true) {
@@ -105,9 +104,12 @@ void SequencedBroadcast::try_deliver_locked(
     it->second.delivered = true;
     const std::uint64_t seq = ++last_delivered_;
     std::vector<Command> batch = it->second.batch;  // keep for view changes
-    lock.unlock();
+    // Deliver outside mu_ (the callback pushes into the scheduler queue and
+    // must not see the broadcast lock held); delivering_ keeps this loop
+    // single-threaded across the gap.
+    mu_.unlock();
     if (!batch.empty()) deliver_(seq, batch);
-    lock.lock();
+    mu_.lock();
     // Prune ancient slots beyond the retention window; a replica lagging
     // past this needs state transfer (install_checkpoint).
     while (!log_.empty() &&
@@ -140,16 +142,16 @@ void SequencedBroadcast::handle(NodeId from, const MessagePtr& m) {
       break;
     case msg::kViewChange: {
       const auto& vc = message_as<ViewChangeMsg>(m);
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       process_view_change_locked(from_index, vc);
-      try_deliver_locked(lock);
+      try_deliver_locked();
       break;
     }
     case msg::kNewView: {
       const auto& nv = message_as<NewViewMsg>(m);
-      std::unique_lock lock(mu_);
+      MutexLock lock(mu_);
       adopt_new_view_locked(nv);
-      try_deliver_locked(lock);
+      try_deliver_locked();
       break;
     }
     default:
@@ -158,7 +160,7 @@ void SequencedBroadcast::handle(NodeId from, const MessagePtr& m) {
 }
 
 void SequencedBroadcast::on_accept(int from_index, const AcceptMsg& m) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (m.view != view_ || view_changing_) {
     // A higher-view ACCEPT means we missed a NEWVIEW; join the newer view
     // optimistically (its leader is alive and proposing).
@@ -181,7 +183,7 @@ void SequencedBroadcast::on_accept(int from_index, const AcceptMsg& m) {
 }
 
 void SequencedBroadcast::on_accepted(int from_index, const AcceptedMsg& m) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (m.view != view_ || leader_of(view_) != index_) return;
   auto it = log_.find(m.seq);
   if (it == log_.end()) return;
@@ -198,12 +200,12 @@ void SequencedBroadcast::on_accepted(int from_index, const AcceptedMsg& m) {
   if (!slot.committed && slot.acks.size() * 2 > replicas_.size()) {
     slot.committed = true;
     broadcast_to_replicas_locked(make_message<CommitMsg>(view_, m.seq));
-    try_deliver_locked(lock);
+    try_deliver_locked();
   }
 }
 
 void SequencedBroadcast::on_commit(const CommitMsg& m) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   last_leader_activity_ns_ = now_ns();
   auto it = log_.find(m.seq);
   if (it == log_.end() || it->second.batch.empty()) {
@@ -213,11 +215,11 @@ void SequencedBroadcast::on_commit(const CommitMsg& m) {
     return;
   }
   it->second.committed = true;
-  try_deliver_locked(lock);
+  try_deliver_locked();
 }
 
 void SequencedBroadcast::on_heartbeat(int from_index, const HeartbeatMsg& m) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (m.view >= view_) {
     if (m.view > view_) {
       view_ = m.view;
@@ -244,13 +246,13 @@ void SequencedBroadcast::maybe_report_gap_locked(int from_index,
 }
 
 void SequencedBroadcast::install_checkpoint(std::uint64_t seq) {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   if (seq <= last_delivered_) return;
   last_delivered_ = seq;
   while (!log_.empty() && log_.begin()->first <= seq) {
     log_.erase(log_.begin());
   }
-  try_deliver_locked(lock);  // slots beyond the checkpoint may be committed
+  try_deliver_locked();  // slots beyond the checkpoint may be committed
 }
 
 std::vector<LogEntrySummary> SequencedBroadcast::accepted_log_locked() const {
@@ -352,18 +354,17 @@ void SequencedBroadcast::adopt_new_view_locked(const NewViewMsg& nv) {
 }
 
 void SequencedBroadcast::timer_loop() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (!stopping_) {
-    timer_cv_.wait_for(
-        lock, std::chrono::milliseconds(config_.tick_interval_ms),
-        [&] { return stopping_; });
+    timer_cv_.wait_for(mu_,
+                       std::chrono::milliseconds(config_.tick_interval_ms));
     if (stopping_) return;
     const std::uint64_t now = now_ns();
     const bool am_leader = leader_of(view_) == index_ && !view_changing_;
     if (am_leader) {
       if (!pending_.empty() &&
           now - pending_since_ns_ >= config_.batch_timeout_us * 1000ull) {
-        propose_locked(lock);
+        propose_locked();
       }
       if (now - last_heartbeat_sent_ns_ >=
           config_.heartbeat_interval_ms * 1'000'000ull) {

@@ -36,16 +36,16 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "broadcast/messages.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 
 namespace psmr {
@@ -82,7 +82,10 @@ class SequencedBroadcast {
                      std::vector<NodeId> replicas, Config config,
                      DeliverFn deliver);
 
-  void set_gap_handler(GapFn on_gap) { on_gap_ = std::move(on_gap); }
+  void set_gap_handler(GapFn on_gap) {
+    MutexLock lock(mu_);
+    on_gap_ = std::move(on_gap);
+  }
 
   // State-transfer install: everything up to and including `seq` is covered
   // by an externally restored checkpoint. Prunes the log below it and moves
@@ -123,20 +126,26 @@ class SequencedBroadcast {
     return static_cast<int>(v % replicas_.size());
   }
 
-  // All of the following require mu_ held.
-  void propose_locked(std::unique_lock<std::mutex>& lock);
-  void try_deliver_locked(std::unique_lock<std::mutex>& lock);
-  void broadcast_to_replicas_locked(const MessagePtr& m);
-  void start_view_change_locked(std::uint64_t target_view);
-  void process_view_change_locked(int from_index, const ViewChangeMsg& vc);
-  void adopt_new_view_locked(const NewViewMsg& nv);
-  std::vector<LogEntrySummary> accepted_log_locked() const;
+  // All of the following require mu_ held. try_deliver_locked releases and
+  // reacquires mu_ around the deliver callback (directly on the mutex, so
+  // the static analysis and the rank checker both track it).
+  void propose_locked() PSMR_REQUIRES(mu_);
+  void try_deliver_locked() PSMR_REQUIRES(mu_);
+  void broadcast_to_replicas_locked(const MessagePtr& m) PSMR_REQUIRES(mu_);
+  void start_view_change_locked(std::uint64_t target_view)
+      PSMR_REQUIRES(mu_);
+  void process_view_change_locked(int from_index, const ViewChangeMsg& vc)
+      PSMR_REQUIRES(mu_);
+  void adopt_new_view_locked(const NewViewMsg& nv) PSMR_REQUIRES(mu_);
+  std::vector<LogEntrySummary> accepted_log_locked() const
+      PSMR_REQUIRES(mu_);
 
   void on_accept(int from_index, const AcceptMsg& m);
   void on_accepted(int from_index, const AcceptedMsg& m);
   void on_commit(const CommitMsg& m);
   void on_heartbeat(int from_index, const HeartbeatMsg& m);
-  void maybe_report_gap_locked(int from_index, std::uint64_t their_seq);
+  void maybe_report_gap_locked(int from_index, std::uint64_t their_seq)
+      PSMR_REQUIRES(mu_);
 
   void timer_loop();
 
@@ -146,30 +155,36 @@ class SequencedBroadcast {
   const std::vector<NodeId> replicas_;
   const Config config_;
   const DeliverFn deliver_;
-  GapFn on_gap_;  // set before start(); not guarded afterwards
+  GapFn on_gap_ PSMR_GUARDED_BY(mu_);
 
-  mutable std::mutex mu_;
-  std::uint64_t view_ = 0;
-  std::uint64_t next_seq_ = 1;        // leader: next slot to assign
-  std::uint64_t last_delivered_ = 0;  // highest gap-free delivered slot
-  std::map<std::uint64_t, Slot> log_;
-  std::vector<Command> pending_;
-  std::uint64_t pending_since_ns_ = 0;
-  std::uint64_t last_leader_activity_ns_ = 0;
-  std::uint64_t last_heartbeat_sent_ns_ = 0;
+  // mu_ is held across net_.send (broadcast rank precedes transport rank)
+  // and released around the deliver callback.
+  mutable RankedMutex<lock_rank::kBroadcast> mu_;
+  std::uint64_t view_ PSMR_GUARDED_BY(mu_) = 0;
+  // next_seq_: leader's next slot to assign; last_delivered_: highest
+  // gap-free delivered slot.
+  std::uint64_t next_seq_ PSMR_GUARDED_BY(mu_) = 1;
+  std::uint64_t last_delivered_ PSMR_GUARDED_BY(mu_) = 0;
+  std::map<std::uint64_t, Slot> log_ PSMR_GUARDED_BY(mu_);
+  std::vector<Command> pending_ PSMR_GUARDED_BY(mu_);
+  std::uint64_t pending_since_ns_ PSMR_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_leader_activity_ns_ PSMR_GUARDED_BY(mu_) = 0;
+  std::uint64_t last_heartbeat_sent_ns_ PSMR_GUARDED_BY(mu_) = 0;
 
-  bool delivering_ = false;  // single-deliverer guard for try_deliver_locked
+  // Single-deliverer guard for try_deliver_locked.
+  bool delivering_ PSMR_GUARDED_BY(mu_) = false;
 
-  std::uint64_t last_gap_report_ns_ = 0;
+  std::uint64_t last_gap_report_ns_ PSMR_GUARDED_BY(mu_) = 0;
 
   // View-change state.
-  bool view_changing_ = false;
-  std::uint64_t target_view_ = 0;
-  std::map<int, ViewChangeMsg> view_change_msgs_;  // by replica index
+  bool view_changing_ PSMR_GUARDED_BY(mu_) = false;
+  std::uint64_t target_view_ PSMR_GUARDED_BY(mu_) = 0;
+  std::map<int, ViewChangeMsg> view_change_msgs_
+      PSMR_GUARDED_BY(mu_);  // by replica index
 
   std::thread timer_;
-  std::condition_variable timer_cv_;
-  bool stopping_ = false;
+  CondVar timer_cv_;
+  bool stopping_ PSMR_GUARDED_BY(mu_) = false;
   std::atomic<bool> started_{false};
 };
 

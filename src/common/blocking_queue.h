@@ -2,14 +2,19 @@
 //
 // Used as the inbox of simulated-network endpoints and as the hand-off
 // between the atomic-broadcast delivery path and the replica scheduler.
+//
+// Locking: transports push() while holding their own mutex, so mu_ ranks
+// below the transport layer and above the COS locks the scheduler takes
+// after popping (DESIGN.md "Lock hierarchy").
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace psmr {
 
@@ -23,18 +28,18 @@ class BlockingQueue {
   // Returns false if the queue is closed (the item is dropped).
   bool push(T item) {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       if (closed_) return false;
       items_.push_back(std::move(item));
     }
-    cv_.pop_wakeup.notify_one();
+    pop_wakeup_.notify_one();
     return true;
   }
 
   // Blocks until an item is available or the queue is closed and drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mu_);
-    cv_.pop_wakeup.wait(lock, [&] { return !items_.empty() || closed_; });
+    MutexLock lock(mu_);
+    while (items_.empty() && !closed_) pop_wakeup_.wait(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -42,7 +47,7 @@ class BlockingQueue {
   }
 
   std::optional<T> try_pop() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (items_.empty()) return std::nullopt;
     T item = std::move(items_.front());
     items_.pop_front();
@@ -53,29 +58,27 @@ class BlockingQueue {
   // popped ("close and drain").
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
-    cv_.pop_wakeup.notify_all();
+    pop_wakeup_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::size_t size() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return items_.size();
   }
 
  private:
-  mutable std::mutex mu_;
-  struct {
-    std::condition_variable pop_wakeup;
-  } cv_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable RankedMutex<lock_rank::kQueue> mu_;
+  CondVar pop_wakeup_;
+  std::deque<T> items_ PSMR_GUARDED_BY(mu_);
+  bool closed_ PSMR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace psmr

@@ -1,0 +1,35 @@
+// Debug poisoning of reclaimed memory.
+//
+// Deferred-reclamation bugs (a traversal dereferencing a node after its
+// grace period was mis-computed) are silent in a normal build: the freed
+// memory usually still holds the old bytes. PSMR_MEMORY_DEBUG makes them
+// loud — retired objects are destroyed, filled with a 0xDEAD byte pattern,
+// and only then returned to the allocator, so a stale reader sees garbage
+// immediately (and ASan additionally traps the use-after-free itself).
+//
+// PSMR_MEMORY_DEBUG defaults to on in debug builds (!NDEBUG); the build
+// system forces it on for sanitizer configurations (see PSMR_ASAN in the
+// top-level CMakeLists.txt).
+#pragma once
+
+#include <cstddef>
+
+#ifndef PSMR_MEMORY_DEBUG
+#ifdef NDEBUG
+#define PSMR_MEMORY_DEBUG 0
+#else
+#define PSMR_MEMORY_DEBUG 1
+#endif
+#endif
+
+namespace psmr {
+
+// Fills [p, p+n) with the alternating pattern 0xDE 0xAD 0xDE 0xAD ...
+inline void poison_memory(void* p, std::size_t n) {
+  auto* bytes = static_cast<unsigned char*>(p);
+  for (std::size_t i = 0; i < n; ++i) {
+    bytes[i] = (i & 1) == 0 ? 0xDEu : 0xADu;
+  }
+}
+
+}  // namespace psmr

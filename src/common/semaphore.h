@@ -6,11 +6,16 @@
 // has no way to wake parked threads at shutdown, so this one adds close():
 // after close(), every pending and future acquire() returns false instead of
 // blocking, which lets COS implementations drain their worker pools cleanly.
+//
+// Locking: mu_ is a leaf in the COS layer — release() is called from deep
+// inside the variants' remove/insert paths, so its rank sits below every
+// graph lock (DESIGN.md "Lock hierarchy").
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
-#include <mutex>
+
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace psmr {
 
@@ -25,8 +30,8 @@ class Semaphore {
   // Returns true if a permit was consumed, false if closed (close is
   // immediate: remaining permits are not drained).
   bool acquire() {
-    std::unique_lock lock(mu_);
-    cv_.wait(lock, [&] { return count_ > 0 || closed_; });
+    MutexLock lock(mu_);
+    while (count_ <= 0 && !closed_) cv_.wait(mu_);
     if (closed_) return false;
     --count_;
     return true;
@@ -34,7 +39,7 @@ class Semaphore {
 
   // Non-blocking acquire. Returns true iff a permit was consumed.
   bool try_acquire() {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (count_ > 0 && !closed_) {
       --count_;
       return true;
@@ -45,7 +50,7 @@ class Semaphore {
   void release(std::ptrdiff_t n = 1) {
     if (n <= 0) return;
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       count_ += n;
     }
     if (n == 1) {
@@ -59,27 +64,27 @@ class Semaphore {
   // permit count reaches zero. Idempotent.
   void close() {
     {
-      std::lock_guard lock(mu_);
+      MutexLock lock(mu_);
       closed_ = true;
     }
     cv_.notify_all();
   }
 
   bool closed() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return closed_;
   }
 
   std::ptrdiff_t available() const {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     return count_;
   }
 
  private:
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::ptrdiff_t count_;
-  bool closed_ = false;
+  mutable RankedMutex<lock_rank::kSemaphore> mu_;
+  CondVar cv_;
+  std::ptrdiff_t count_ PSMR_GUARDED_BY(mu_);
+  bool closed_ PSMR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace psmr

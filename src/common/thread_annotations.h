@@ -1,0 +1,56 @@
+// Clang Thread Safety Analysis annotation macros.
+//
+// Wraps the clang `capability` attribute family (see
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html) so annotated code
+// builds on any compiler: under clang the attributes feed
+// -Wthread-safety (the CI clang job promotes it to -Werror=thread-safety);
+// under GCC they expand to nothing. The names mirror the upstream
+// documentation (and Abseil), prefixed PSMR_ to avoid collisions.
+//
+// Which invariants are checked statically vs. at runtime vs. by sanitizers
+// is catalogued in DESIGN.md ("Lock hierarchy and concurrency enforcement").
+#pragma once
+
+#if defined(__clang__)
+#define PSMR_THREAD_ANNOTATION_ATTRIBUTE__(x) __attribute__((x))
+#else
+#define PSMR_THREAD_ANNOTATION_ATTRIBUTE__(x)  // no-op on GCC and others
+#endif
+
+// Class attributes.
+#define PSMR_CAPABILITY(x) PSMR_THREAD_ANNOTATION_ATTRIBUTE__(capability(x))
+#define PSMR_SCOPED_CAPABILITY PSMR_THREAD_ANNOTATION_ATTRIBUTE__(scoped_lockable)
+
+// Data-member attributes.
+#define PSMR_GUARDED_BY(x) PSMR_THREAD_ANNOTATION_ATTRIBUTE__(guarded_by(x))
+#define PSMR_PT_GUARDED_BY(x) PSMR_THREAD_ANNOTATION_ATTRIBUTE__(pt_guarded_by(x))
+#define PSMR_ACQUIRED_BEFORE(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_before(__VA_ARGS__))
+#define PSMR_ACQUIRED_AFTER(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(acquired_after(__VA_ARGS__))
+
+// Function attributes.
+#define PSMR_REQUIRES(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(requires_capability(__VA_ARGS__))
+#define PSMR_REQUIRES_SHARED(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(requires_shared_capability(__VA_ARGS__))
+#define PSMR_ACQUIRE(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_capability(__VA_ARGS__))
+#define PSMR_ACQUIRE_SHARED(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(acquire_shared_capability(__VA_ARGS__))
+#define PSMR_RELEASE(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(release_capability(__VA_ARGS__))
+#define PSMR_RELEASE_SHARED(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(release_shared_capability(__VA_ARGS__))
+#define PSMR_RELEASE_GENERIC(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(release_generic_capability(__VA_ARGS__))
+#define PSMR_TRY_ACQUIRE(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(try_acquire_capability(__VA_ARGS__))
+#define PSMR_EXCLUDES(...) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(locks_excluded(__VA_ARGS__))
+#define PSMR_ASSERT_CAPABILITY(x) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(assert_capability(x))
+#define PSMR_RETURN_CAPABILITY(x) \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(lock_returned(x))
+#define PSMR_NO_THREAD_SAFETY_ANALYSIS \
+  PSMR_THREAD_ANNOTATION_ATTRIBUTE__(no_thread_safety_analysis)

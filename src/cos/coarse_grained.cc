@@ -14,8 +14,8 @@ CoarseGrainedCos::CoarseGrainedCos(std::size_t max_size, ConflictFn conflict,
 CoarseGrainedCos::~CoarseGrainedCos() { close(); }
 
 bool CoarseGrainedCos::insert(const Command& c) {
-  std::unique_lock lock(mu_);
-  not_full_.wait(lock, [&] { return nodes_.size() < max_size_ || closed_; });
+  MutexLock lock(mu_);
+  while (nodes_.size() >= max_size_ && !closed_) not_full_.wait(mu_);
   if (closed_) return false;
 
   nodes_.emplace_back(c);
@@ -54,7 +54,7 @@ bool CoarseGrainedCos::insert(const Command& c) {
 }
 
 CosHandle CoarseGrainedCos::get() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (closed_) return {};
     // Alg. 2 line 22-26: oldest waiting node with no dependencies.
@@ -64,13 +64,13 @@ CosHandle CoarseGrainedCos::get() {
         return {&node.cmd, &node};
       }
     }
-    has_ready_.wait(lock);
+    has_ready_.wait(mu_);
   }
 }
 
 void CoarseGrainedCos::remove(CosHandle h) {
   auto* node = static_cast<Node*>(h.node);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   int freed = 0;
   for (Node* dependent : node->out) {
     if (--dependent->pending_in == 0 && !dependent->executing) ++freed;
@@ -89,7 +89,7 @@ void CoarseGrainedCos::remove(CosHandle h) {
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>>
 CoarseGrainedCos::debug_edges() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
   for (const Node& node : nodes_) {
     for (const Node* dependent : node.out) {
@@ -102,7 +102,7 @@ CoarseGrainedCos::debug_edges() {
 
 void CoarseGrainedCos::close() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     closed_ = true;
   }
   not_full_.notify_all();
@@ -110,7 +110,7 @@ void CoarseGrainedCos::close() {
 }
 
 std::size_t CoarseGrainedCos::approx_size() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return nodes_.size();
 }
 

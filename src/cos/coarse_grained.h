@@ -11,14 +11,14 @@
 // oldest ready node, exactly as in the paper's pseudocode.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <utility>
 #include <vector>
 
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "cos/cos.h"
 #include "cos/dep_tracker.h"
 
@@ -54,18 +54,21 @@ class CoarseGrainedCos final : public Cos {
 
   const std::size_t max_size_;
   const ConflictFn conflict_;
-  // Non-null iff the relation is per-key-decomposable and indexing is on;
-  // then index_ holds every live node under mu_ and insert probes it
-  // instead of scanning nodes_.
   const KeyExtractor extract_;
-  KeyIndex index_;
-  std::uint64_t probe_seq_ = 0;
 
-  mutable std::mutex mu_;
-  std::condition_variable not_full_;   // "nFull" in the paper
-  std::condition_variable has_ready_;  // "hasReady" in the paper
-  std::list<Node> nodes_;              // delivery order
-  bool closed_ = false;
+  // The monitor: one mutex over the whole graph. Node contents (out edges,
+  // pending_in, executing) are guarded transitively — every Node lives in
+  // nodes_ and is only reached with mu_ held.
+  mutable RankedMutex<lock_rank::kCosMonitor> mu_;
+  CondVar not_full_;   // "nFull" in the paper
+  CondVar has_ready_;  // "hasReady" in the paper
+  std::list<Node> nodes_ PSMR_GUARDED_BY(mu_);  // delivery order
+  // Non-null extract_ iff the relation is per-key-decomposable and indexing
+  // is on; then index_ holds every live node and insert probes it instead
+  // of scanning nodes_.
+  KeyIndex index_ PSMR_GUARDED_BY(mu_);
+  std::uint64_t probe_seq_ PSMR_GUARDED_BY(mu_) = 0;
+  bool closed_ PSMR_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace psmr

@@ -22,7 +22,10 @@
 // tombstones) and per-key entry lists are small vectors. The structure is
 // deliberately *unsynchronized*: every COS variant confines index access to
 // its insert thread or guards it with the lock that already protects node
-// deletion (see the per-variant notes in DESIGN.md). Entries are pruned
+// deletion (see the per-variant notes in DESIGN.md). Because the guarding
+// discipline lives in the callers, this class carries no capability
+// annotations and no ranked mutex — data-race freedom of each variant's
+// confinement is validated by the TSan CI job instead. Entries are pruned
 // three ways:
 //   - eagerly, by remove()/helped-remove paths that physically free nodes;
 //   - lazily, when a probe observes a dead entry (the for_each_conflicting

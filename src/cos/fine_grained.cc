@@ -30,10 +30,14 @@ bool FineGrainedCos::insert(const Command& c) {
   if (!space_.acquire()) return false;  // closed
   if (extract_ != nullptr) return insert_indexed(c);
 
-  // The new node is locked for the whole traversal (Alg. 4 line 4); it is
-  // unreachable until linked, so this never contends.
+  // The new node is unreachable until linked, so its in_count can be
+  // written lock-free during the whole scan. (Alg. 4 line 4 locks it up
+  // front instead, but that acquires a *later* node's mutex before the
+  // hand-over-hand walk takes earlier ones — the lock-order inversion TSan
+  // used to report against remove()'s list-order phase-2 walk. Locking it
+  // only at link time, below, keeps every node-mutex acquisition in list
+  // order.)
   auto* added = new Node(c);
-  std::unique_lock added_lock(added->mx);
 
   // Hand-over-hand walk: `prev` is always locked; lock `cur` before
   // releasing `prev` so no operation can overtake us.
@@ -51,7 +55,13 @@ bool FineGrainedCos::insert(const Command& c) {
     cur = cur->next;
   }
   // `prev` is the last node (or the head sentinel) and is still locked;
-  // linking here makes the node visible with all its edges in place.
+  // linking here makes the node visible with all its edges in place. Taking
+  // added->mx now (after its predecessor — list order) pins the readiness
+  // decision: a remover can reach `added` only through `prev`, so it cannot
+  // decrement in_count before the read below, and a decrement that later
+  // hits zero sees executing == false and releases the permit itself —
+  // exactly one side releases.
+  std::unique_lock added_lock(added->mx);
   prev->next = added;
   population_.fetch_add(1, std::memory_order_relaxed);
   const bool is_ready = added->in_count == 0;
@@ -188,7 +198,7 @@ void FineGrainedCos::remove(CosHandle h) {
   // (or delete) a node while holding its list predecessor, which for the
   // successor is `prev` once node is unlinked — holding prev here is what
   // keeps the successor alive until we own its lock.
-  std::unique_lock<std::mutex> walk_lock;
+  std::unique_lock<NodeMutex> walk_lock;
   if (successor != nullptr) {
     walk_lock = std::unique_lock(successor->mx);
   }

@@ -29,6 +29,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/ranked_mutex.h"
 #include "common/semaphore.h"
 #include "cos/cos.h"
 #include "cos/dep_tracker.h"
@@ -55,12 +56,21 @@ class FineGrainedCos final : public Cos {
   const char* name() const override { return "fine-grained"; }
 
  private:
+  // Lock ranks (validated at runtime in checked builds): index_mu_ before
+  // any node mutex; node mutexes nest only in list order, which the rank
+  // checker cannot see — that intra-rank order is AllowSameRank'd here and
+  // validated by TSan's lock-order graph instead. The hand-over-hand
+  // unique_lock/swap idiom is opaque to Clang TSA, so this class is
+  // deliberately not GUARDED_BY-annotated (DESIGN.md "Lock hierarchy").
+  using NodeMutex = RankedMutex<lock_rank::kCosNode, /*AllowSameRank=*/true>;
+  using IndexMutex = RankedMutex<lock_rank::kCosIndex>;
+
   struct Node {
     explicit Node(const Command& command) : cmd(command) {}
     Node() = default;  // head sentinel
 
     Command cmd{};
-    std::mutex mx;
+    NodeMutex mx;
     // All fields below are guarded by `mx`, except `out`, which is guarded
     // by the *owning* node's mx (edges from this node are added/queried only
     // while this node is locked), and `probe_stamp`, which only the insert
@@ -89,7 +99,7 @@ class FineGrainedCos final : public Cos {
   // index entries, and only then frees the node — so the insert thread,
   // which holds index_mu_ across its whole probe, can dereference any
   // pointer it reads from the index without use-after-free.
-  std::mutex index_mu_;
+  IndexMutex index_mu_;
   KeyIndex index_;
   std::uint64_t probe_seq_ = 0;
   // Last linked node (or &head_). Written by the inserter under index_mu_ +

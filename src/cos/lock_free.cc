@@ -15,7 +15,13 @@ LockFreeCos::LockFreeCos(std::size_t max_size, ConflictFn conflict,
       extract_(indexed ? conflict_key_extractor(conflict) : nullptr),
       index_(extract_ != nullptr ? max_size : 1),
       space_(static_cast<std::ptrdiff_t>(max_size)),
-      ready_(0) {}
+      ready_(0) {
+  // Every retire into this domain comes from the insert thread: physical
+  // removal (helped_remove) and dep_me array replacement are confined to it
+  // (§6.2.1). Have the EBR domain abort in debug builds if that ever stops
+  // being true.
+  ebr_.debug_expect_single_remover();
+}
 
 LockFreeCos::~LockFreeCos() {
   close();
@@ -155,12 +161,35 @@ void LockFreeCos::helped_remove(Node* gone, Node* prev) {
   std::atomic<Node*>* dep_me = gone->dep_me.load(std::memory_order_seq_cst);
   for (std::size_t i = 0; i < dependents; ++i) {
     Node* dependent = dep_me[i].load(std::memory_order_relaxed);
-    // A dependent is always physically removed no earlier than `gone`
-    // itself (it cannot execute before gone is logically removed, and this
-    // walk helps nodes in list order), so writing its dep_on is safe.
+    // nullptr: the dependent was physically removed before `gone` (the
+    // unhook loop below cleared it). That happens when a walk passes `gone`
+    // while it is still executing, then helps the already-finished
+    // dependent further down the list — `gone` itself is only helped by a
+    // later walk. Non-null entries are not yet physically removed, so
+    // writing their dep_on is safe.
+    if (dependent == nullptr) continue;
     for (std::size_t j = 0; j < dependent->dep_on_count; ++j) {
       if (dependent->dep_on[j].load(std::memory_order_relaxed) == gone) {
         dependent->dep_on[j].store(nullptr, std::memory_order_seq_cst);
+        break;
+      }
+    }
+  }
+  // Unhook `gone` from the dep_me list of every dependency that is still
+  // physically present (non-null dep_on entries — helped_remove of a
+  // dependency nulls its entry, and all physical removal runs on this
+  // thread). Without this, a later helped_remove of the dependency would
+  // chase a dangling pointer to `gone` (use-after-free). Concurrent dep_me
+  // readers (lf_remove) tolerate the null; a reader that already loaded the
+  // entry is pinned, so `gone` outlives its traversal.
+  for (std::size_t j = 0; j < gone->dep_on_count; ++j) {
+    Node* dep = gone->dep_on[j].load(std::memory_order_seq_cst);
+    if (dep == nullptr) continue;
+    const std::size_t n = dep->dep_me_count.load(std::memory_order_seq_cst);
+    std::atomic<Node*>* arr = dep->dep_me.load(std::memory_order_seq_cst);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (arr[i].load(std::memory_order_relaxed) == gone) {
+        arr[i].store(nullptr, std::memory_order_seq_cst);
         break;
       }
     }
@@ -385,9 +414,10 @@ int LockFreeCos::lf_insert_batch(std::span<const Command> batch) {
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>>
 LockFreeCos::debug_edges() {
-  // Requires quiescence. Live nodes' dep_me entries are all live: a
-  // dependent cannot execute (and so cannot be removed) before every one of
-  // its dependencies was removed.
+  // Requires quiescence. Live nodes' non-null dep_me entries are all live:
+  // a dependent cannot execute (and so cannot be removed) before every one
+  // of its dependencies was removed; entries of physically removed
+  // dependents are nulled by helped_remove.
   std::vector<std::pair<std::uint64_t, std::uint64_t>> edges;
   auto guard = ebr_.pin();
   for (Node* cur = head_.load(std::memory_order_seq_cst); cur != nullptr;
@@ -397,6 +427,7 @@ LockFreeCos::debug_edges() {
     std::atomic<Node*>* dep_me = cur->dep_me.load(std::memory_order_seq_cst);
     for (std::size_t i = 0; i < count; ++i) {
       Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+      if (dependent == nullptr) continue;
       edges.emplace_back(cur->cmd.id, dependent->cmd.id);
     }
   }
@@ -439,6 +470,9 @@ int LockFreeCos::lf_remove(Node* n) {
   std::atomic<Node*>* dep_me = n->dep_me.load(std::memory_order_seq_cst);
   for (std::size_t i = 0; i < dependents; ++i) {
     Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+    // Entries are nulled when a dependent is physically removed; a
+    // physically removed dependent is past rdy and needs no test.
+    if (dependent == nullptr) continue;
     ready_nodes += test_ready(dependent);
   }
   return ready_nodes;

@@ -36,6 +36,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/ranked_mutex.h"
 #include "common/semaphore.h"
 #include "cos/cos.h"
 #include "cos/dep_tracker.h"
@@ -78,7 +79,12 @@ class StripedCos final : public Cos {
 
   struct Segment {
     explicit Segment(std::size_t width) : nodes(width) {}
-    std::mutex mx;
+    // Segment locks share one rank (coupled walks and the indexed insert
+    // nest them strictly in list order — an intra-rank order the runtime
+    // checker admits via AllowSameRank and TSan validates). The
+    // unique_lock/swap coupling is opaque to Clang TSA, so fields rely on
+    // the comment contract below rather than GUARDED_BY.
+    RankedMutex<lock_rank::kCosSegment, /*AllowSameRank=*/true> mx;
     // Slots fill monotonically; `used` only grows, `live` falls to zero
     // when every node has been removed. All guarded by mx.
     std::vector<Node> nodes;

@@ -1,6 +1,8 @@
 #include "memory/ebr.h"
 
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
 
 namespace psmr {
 namespace {
@@ -62,14 +64,35 @@ EbrDomain::Guard EbrDomain::pin() {
 }
 
 void EbrDomain::retire_raw(void* ptr, void (*deleter)(void*)) {
+#if PSMR_MEMORY_DEBUG
+  if (single_remover_.load(std::memory_order_relaxed)) {
+    // Sticky first-retirer identity: the first retire claims the slot, any
+    // retire from a different thread afterwards is an invariant violation.
+    static thread_local char t_anchor;
+    const auto tid = reinterpret_cast<std::uintptr_t>(&t_anchor);
+    std::uintptr_t expected = 0;
+    if (!debug_retirer_.compare_exchange_strong(expected, tid,
+                                                std::memory_order_relaxed) &&
+        expected != tid) {
+      std::fprintf(stderr,
+                   "EbrDomain: single-remover invariant violated — retire "
+                   "from a second thread (first=%#zx this=%#zx)\n",
+                   static_cast<std::size_t>(expected),
+                   static_cast<std::size_t>(tid));
+      std::abort();
+    }
+  }
+#endif
   ThreadRec* rec = rec_for_current_thread();
   const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
+  std::size_t limbo_size;
   {
-    std::lock_guard lock(rec->limbo_mu);
+    MutexLock lock(rec->limbo_mu);
     rec->limbo.push_back({ptr, deleter, e});
+    limbo_size = rec->limbo.size();
   }
   // Amortize advancement attempts.
-  if (rec->limbo.size() % 64 == 0) {
+  if (limbo_size % 64 == 0) {
     try_advance();
     reclaim(*rec);
   }
@@ -91,7 +114,7 @@ bool EbrDomain::try_advance() {
 std::size_t EbrDomain::reclaim(ThreadRec& rec) {
   const std::uint64_t e = global_epoch_.value.load(std::memory_order_seq_cst);
   std::size_t freed = 0;
-  std::lock_guard lock(rec.limbo_mu);
+  MutexLock lock(rec.limbo_mu);
   auto& limbo = rec.limbo;
   std::size_t keep = 0;
   for (std::size_t i = 0; i < limbo.size(); ++i) {
@@ -121,7 +144,7 @@ void EbrDomain::drain_all_unsafe() {
   const std::size_t hw = high_water_.load(std::memory_order_acquire);
   std::size_t freed = 0;
   for (std::size_t i = 0; i < hw; ++i) {
-    std::lock_guard lock(recs_[i].limbo_mu);
+    MutexLock lock(recs_[i].limbo_mu);
     for (const auto& retired : recs_[i].limbo) {
       retired.deleter(retired.ptr);
       ++freed;
@@ -135,7 +158,7 @@ std::size_t EbrDomain::retired_pending() const {
   const std::size_t hw = high_water_.load(std::memory_order_acquire);
   std::size_t pending = 0;
   for (std::size_t i = 0; i < hw; ++i) {
-    std::lock_guard lock(recs_[i].limbo_mu);
+    MutexLock lock(recs_[i].limbo_mu);
     pending += recs_[i].limbo.size();
   }
   return pending;

@@ -26,10 +26,13 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
-#include <mutex>
+#include <new>
 #include <vector>
 
+#include "common/debug_poison.h"
 #include "common/padded.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace psmr {
 
@@ -75,10 +78,34 @@ class EbrDomain {
   // Must be called after `node` became unreachable from the shared structure.
   template <typename T>
   void retire(T* node) {
+#if PSMR_MEMORY_DEBUG
+    // Poison after the destructor so a traversal that outlives its grace
+    // period reads 0xDEAD garbage instead of stale-but-plausible bytes.
+    retire_raw(node, [](void* p) {
+      T* t = static_cast<T*>(p);
+      t->~T();
+      poison_memory(p, sizeof(T));
+      if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+        ::operator delete(p, std::align_val_t(alignof(T)));
+      } else {
+        ::operator delete(p);
+      }
+    });
+#else
     retire_raw(node, [](void* p) { delete static_cast<T*>(p); });
+#endif
   }
 
   void retire_raw(void* ptr, void (*deleter)(void*));
+
+  // Debug invariant: every retire in this domain comes from one thread.
+  // The lock-free COS relies on this (physical removal is confined to the
+  // insert thread, §6.2.1); opting in records the first retirer's identity
+  // and aborts if a different thread ever retires. No-op unless
+  // PSMR_MEMORY_DEBUG.
+  void debug_expect_single_remover() {
+    single_remover_.store(true, std::memory_order_relaxed);
+  }
 
   // Tries to advance the epoch and reclaim everything reclaimable from the
   // calling thread's limbo list. Returns the number of objects freed.
@@ -109,8 +136,10 @@ class EbrDomain {
   struct ThreadRec {
     Padded<std::atomic<std::uint64_t>> epoch;  // kIdle when not pinned
     std::atomic<bool> used{false};
-    std::vector<Retired> limbo;  // touched only by owning thread...
-    std::mutex limbo_mu;         // ...except at drain_all_unsafe
+    // kReclaim is the innermost rank: retire() may run under COS node or
+    // segment locks, and the deleters it invokes take no locks at all.
+    RankedMutex<lock_rank::kReclaim> limbo_mu;
+    std::vector<Retired> limbo PSMR_GUARDED_BY(limbo_mu);
     ThreadRec() { epoch.value.store(kIdle, std::memory_order_relaxed); }
   };
 
@@ -123,6 +152,12 @@ class EbrDomain {
   std::unique_ptr<ThreadRec[]> recs_;
   std::atomic<std::size_t> high_water_{0};  // number of slots ever used
   Padded<std::atomic<std::uint64_t>> total_freed_;
+
+  // Single-remover debug check (see debug_expect_single_remover). The
+  // retirer identity is the address of a thread_local anchor — unique per
+  // live thread, comparable without <thread>.
+  std::atomic<bool> single_remover_{false};
+  std::atomic<std::uintptr_t> debug_retirer_{0};
 };
 
 }  // namespace psmr

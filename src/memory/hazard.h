@@ -22,11 +22,14 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
+#include <new>
 #include <utility>
 #include <vector>
 
+#include "common/debug_poison.h"
 #include "common/padded.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 
 namespace psmr {
 
@@ -41,8 +44,10 @@ class HazardDomain {
   struct Rec {
     Padded<std::atomic<void*>> slots[kSlotsPerThread];
     std::atomic<bool> used{false};
-    std::vector<Retired> limbo;  // touched only by owning thread...
-    std::mutex limbo_mu;         // ...except at drain_all_unsafe
+    // kReclaim is the innermost rank: retire() may run under COS locks and
+    // the deleters it invokes take no locks at all.
+    RankedMutex<lock_rank::kReclaim> limbo_mu;
+    std::vector<Retired> limbo PSMR_GUARDED_BY(limbo_mu);
   };
 
  public:
@@ -98,16 +103,33 @@ class HazardDomain {
   // Defers deletion until no thread holds a hazard on `node`.
   template <typename T>
   void retire(T* node) {
+#if PSMR_MEMORY_DEBUG
+    // Poison after the destructor so a reader with a stale (unprotected)
+    // pointer sees 0xDEAD garbage instead of stale-but-plausible bytes.
+    retire_raw(node, [](void* p) {
+      T* t = static_cast<T*>(p);
+      t->~T();
+      poison_memory(p, sizeof(T));
+      if constexpr (alignof(T) > __STDCPP_DEFAULT_NEW_ALIGNMENT__) {
+        ::operator delete(p, std::align_val_t(alignof(T)));
+      } else {
+        ::operator delete(p);
+      }
+    });
+#else
     retire_raw(node, [](void* p) { delete static_cast<T*>(p); });
+#endif
   }
 
   void retire_raw(void* ptr, void (*deleter)(void*)) {
     Rec* rec = rec_for_current_thread();
+    std::size_t limbo_size;
     {
-      std::lock_guard lock(rec->limbo_mu);
+      MutexLock lock(rec->limbo_mu);
       rec->limbo.push_back({ptr, deleter});
+      limbo_size = rec->limbo.size();
     }
-    if (rec->limbo.size() >= kScanThreshold) scan(*rec);
+    if (limbo_size >= kScanThreshold) scan(*rec);
   }
 
   // Scans hazards and frees every retired object not currently protected.
@@ -118,7 +140,7 @@ class HazardDomain {
     const std::size_t hw = high_water_.load(std::memory_order_acquire);
     std::size_t pending = 0;
     for (std::size_t i = 0; i < hw; ++i) {
-      std::lock_guard lock(recs_[i].limbo_mu);
+      MutexLock lock(recs_[i].limbo_mu);
       pending += recs_[i].limbo.size();
     }
     return pending;
@@ -133,7 +155,7 @@ class HazardDomain {
   void drain_all_unsafe() {
     const std::size_t hw = high_water_.load(std::memory_order_acquire);
     for (std::size_t i = 0; i < hw; ++i) {
-      std::lock_guard lock(recs_[i].limbo_mu);
+      MutexLock lock(recs_[i].limbo_mu);
       for (const auto& r : recs_[i].limbo) r.deleter(r.ptr);
       total_freed_.fetch_add(recs_[i].limbo.size(), std::memory_order_relaxed);
       recs_[i].limbo.clear();
@@ -182,7 +204,7 @@ class HazardDomain {
     }
     std::sort(protected_ptrs.begin(), protected_ptrs.end());
 
-    std::lock_guard lock(rec.limbo_mu);
+    MutexLock lock(rec.limbo_mu);
     std::size_t keep = 0;
     std::size_t freed = 0;
     for (std::size_t i = 0; i < rec.limbo.size(); ++i) {

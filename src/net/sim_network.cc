@@ -14,7 +14,7 @@ SimNetwork::SimNetwork(Config config)
 SimNetwork::~SimNetwork() { shutdown(); }
 
 NodeId SimNetwork::add_endpoint(Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const NodeId id = static_cast<NodeId>(endpoints_.size());
   auto endpoint = std::make_unique<Endpoint>();
   endpoint->handler = std::move(handler);
@@ -29,7 +29,7 @@ NodeId SimNetwork::add_endpoint(Handler handler) {
 }
 
 void SimNetwork::send(NodeId from, NodeId to, MessagePtr msg) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (stopping_) return;
   const auto n = static_cast<NodeId>(endpoints_.size());
   if (to < 0 || to >= n || from < 0 || from >= n) return;
@@ -62,7 +62,7 @@ bool SimNetwork::link_up_locked(NodeId a, NodeId b) const {
 }
 
 void SimNetwork::set_link(NodeId a, NodeId b, bool up) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   const auto key = std::minmax(a, b);
   if (up) {
     cut_links_.erase({key.first, key.second});
@@ -74,7 +74,7 @@ void SimNetwork::set_link(NodeId a, NodeId b, bool up) {
 void SimNetwork::crash(NodeId node) {
   Endpoint* endpoint = nullptr;
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return;
     endpoint = endpoints_[static_cast<std::size_t>(node)].get();
     endpoint->crashed.store(true, std::memory_order_relaxed);
@@ -83,24 +83,24 @@ void SimNetwork::crash(NodeId node) {
 }
 
 bool SimNetwork::crashed(NodeId node) const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return true;
   return endpoints_[static_cast<std::size_t>(node)]->crashed.load(
       std::memory_order_relaxed);
 }
 
 void SimNetwork::delivery_loop() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (stopping_) return;
     if (queue_.empty()) {
-      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      cv_.wait(mu_);
       continue;
     }
     const std::uint64_t now = now_ns();
     const InFlight& next = queue_.top();
     if (next.deliver_at_ns > now) {
-      cv_.wait_for(lock,
+      cv_.wait_for(mu_,
                    std::chrono::nanoseconds(next.deliver_at_ns - now));
       continue;
     }
@@ -125,16 +125,24 @@ void SimNetwork::delivery_loop() {
 
 void SimNetwork::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
   }
   cv_.notify_all();
   if (delivery_thread_.joinable()) delivery_thread_.join();
-  for (auto& endpoint : endpoints_) {
+  // Snapshot the endpoints under mu_, then close/join outside it: a
+  // dispatcher handler may call send(), which takes mu_.
+  std::vector<Endpoint*> endpoints;
+  {
+    MutexLock lock(mu_);
+    endpoints.reserve(endpoints_.size());
+    for (auto& endpoint : endpoints_) endpoints.push_back(endpoint.get());
+  }
+  for (Endpoint* endpoint : endpoints) {
     endpoint->inbox.close();
   }
-  for (auto& endpoint : endpoints_) {
+  for (Endpoint* endpoint : endpoints) {
     if (endpoint->dispatcher.joinable()) endpoint->dispatcher.join();
   }
 }

@@ -14,19 +14,19 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <queue>
 #include <set>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/ranked_mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "net/message.h"
 #include "net/transport.h"
 
@@ -99,22 +99,28 @@ class SimNetwork final : public Transport {
     std::atomic<bool> crashed{false};
   };
 
-  bool link_up_locked(NodeId a, NodeId b) const;
+  bool link_up_locked(NodeId a, NodeId b) const PSMR_REQUIRES(mu_);
   void delivery_loop();
 
   const Config config_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_;
-  std::map<std::pair<NodeId, NodeId>, std::uint64_t> last_delivery_;  // FIFO
-  std::set<std::pair<NodeId, NodeId>> cut_links_;
-  Xoshiro256 rng_;
-  std::uint64_t next_sequence_ = 0;
-  bool stopping_ = false;
+  // mu_ is held across inbox pushes (transport rank precedes the queue
+  // rank). Endpoint objects themselves are not guarded: only the
+  // unique_ptr vector is — the pointees are internally synchronized
+  // (inbox) or atomic (crashed).
+  mutable RankedMutex<lock_rank::kTransport> mu_;
+  CondVar cv_;
+  std::priority_queue<InFlight, std::vector<InFlight>, std::greater<>> queue_
+      PSMR_GUARDED_BY(mu_);
+  std::map<std::pair<NodeId, NodeId>, std::uint64_t> last_delivery_
+      PSMR_GUARDED_BY(mu_);  // FIFO
+  std::set<std::pair<NodeId, NodeId>> cut_links_ PSMR_GUARDED_BY(mu_);
+  Xoshiro256 rng_ PSMR_GUARDED_BY(mu_);
+  std::uint64_t next_sequence_ PSMR_GUARDED_BY(mu_) = 0;
+  bool stopping_ PSMR_GUARDED_BY(mu_) = false;
 
-  std::vector<std::unique_ptr<Endpoint>> endpoints_;
-  std::thread delivery_thread_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_ PSMR_GUARDED_BY(mu_);
+  std::thread delivery_thread_;  // set once in the constructor
 
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};

@@ -60,7 +60,7 @@ TcpTransport::TcpTransport(Config config) : config_(std::move(config)) {
 TcpTransport::~TcpTransport() { shutdown(); }
 
 NodeId TcpTransport::add_endpoint(Handler handler) {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (started_ || stopping_ || config_.local_id < 0) return -1;
 
   epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
@@ -115,7 +115,7 @@ void TcpTransport::send(NodeId from, NodeId to, MessagePtr msg) {
     return;
   }
 
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (!started_ || stopping_ || from != config_.local_id || to < 0) {
     drop_message();
     return;
@@ -156,7 +156,7 @@ void TcpTransport::wake() {
 
 void TcpTransport::shutdown() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     stopping_ = true;
     if (!started_) {
@@ -460,7 +460,7 @@ std::uint64_t TcpTransport::next_timer_locked(std::uint64_t now) const {
 }
 
 void TcpTransport::io_loop() {
-  std::unique_lock lock(mu_);
+  MutexLock lock(mu_);
   while (true) {
     if (stopping_) break;
     const std::uint64_t now = now_ns();

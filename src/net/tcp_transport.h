@@ -38,12 +38,13 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "net/transport.h"
 
 namespace psmr {
@@ -129,34 +130,43 @@ class TcpTransport final : public Transport {
   // All private methods below run on the I/O thread with mu_ held (the
   // loop releases it only around epoll_wait).
   void io_loop();
-  void start_listener_locked();
-  void accept_ready_locked();
-  void maybe_dial_locked(NodeId id, Peer& peer, std::uint64_t now);
-  void finish_connect_locked(Conn& conn);
-  void handle_readable_locked(Conn& conn);
-  void handle_writable_locked(Conn& conn);
-  void flush_peer_locked(Peer& peer);
-  bool parse_inbound_locked(Conn& conn);
-  void close_conn_locked(Conn& conn, bool peer_failure);
-  void update_events_locked(Conn& conn, std::uint32_t wanted);
-  std::uint64_t next_timer_locked(std::uint64_t now) const;
+  void start_listener_locked() PSMR_REQUIRES(mu_);
+  void accept_ready_locked() PSMR_REQUIRES(mu_);
+  void maybe_dial_locked(NodeId id, Peer& peer, std::uint64_t now)
+      PSMR_REQUIRES(mu_);
+  void finish_connect_locked(Conn& conn) PSMR_REQUIRES(mu_);
+  void handle_readable_locked(Conn& conn) PSMR_REQUIRES(mu_);
+  void handle_writable_locked(Conn& conn) PSMR_REQUIRES(mu_);
+  void flush_peer_locked(Peer& peer) PSMR_REQUIRES(mu_);
+  bool parse_inbound_locked(Conn& conn) PSMR_REQUIRES(mu_);
+  void close_conn_locked(Conn& conn, bool peer_failure) PSMR_REQUIRES(mu_);
+  void update_events_locked(Conn& conn, std::uint32_t wanted)
+      PSMR_REQUIRES(mu_);
+  std::uint64_t next_timer_locked(std::uint64_t now) const PSMR_REQUIRES(mu_);
   void wake();
 
-  Peer& peer_entry_locked(NodeId id);
+  Peer& peer_entry_locked(NodeId id) PSMR_REQUIRES(mu_);
   std::uint64_t backoff_ns(int attempts) const;
   void drop_message() { dropped_.fetch_add(1, std::memory_order_relaxed); }
 
   const Config config_;
+  // Set once in add_endpoint() before the dispatcher thread starts, read
+  // only by that thread afterwards — deliberately not guarded by mu_.
   Handler handler_;
 
-  mutable std::mutex mu_;
-  bool started_ = false;
-  bool stopping_ = false;
+  // mu_ is held across inbox_ pushes (transport rank precedes the queue
+  // rank in the lock hierarchy, DESIGN.md). The fds below are created in
+  // add_endpoint() before the I/O thread exists and torn down by it;
+  // wake() reads wake_fd_ without mu_ from shutdown(), a benign race with
+  // the I/O thread's final close (the eventfd write then hits a dead fd).
+  mutable RankedMutex<lock_rank::kTransport> mu_;
+  bool started_ PSMR_GUARDED_BY(mu_) = false;
+  bool stopping_ PSMR_GUARDED_BY(mu_) = false;
   int epoll_fd_ = -1;
   int listen_fd_ = -1;
   int wake_fd_ = -1;  // eventfd: send() and shutdown() wake the I/O thread
-  std::map<int, std::unique_ptr<Conn>> conns_;  // by fd
-  std::map<NodeId, Peer> peers_;
+  std::map<int, std::unique_ptr<Conn>> conns_ PSMR_GUARDED_BY(mu_);  // by fd
+  std::map<NodeId, Peer> peers_ PSMR_GUARDED_BY(mu_);
 
   BlockingQueue<std::pair<NodeId, MessagePtr>> inbox_;
   std::thread io_thread_;

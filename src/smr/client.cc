@@ -17,7 +17,7 @@ SmrClient::SmrClient(Transport& net, std::vector<NodeId> replicas,
 
 SmrClient::~SmrClient() {
   {
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     issuing_ = false;
   }
@@ -25,7 +25,7 @@ SmrClient::~SmrClient() {
 }
 
 void SmrClient::start() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   if (issuing_ || stopping_) return;
   issuing_ = true;
   for (int i = 0; i < config_.pipeline; ++i) issue_one_locked();
@@ -35,15 +35,21 @@ void SmrClient::start() {
 }
 
 void SmrClient::stop() {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   issuing_ = false;
 }
 
 bool SmrClient::drain(std::uint64_t timeout_ms) {
-  std::unique_lock lock(mu_);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  MutexLock lock(mu_);
   issuing_ = false;
-  return drained_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                              [&] { return outstanding_.empty(); });
+  while (!outstanding_.empty()) {
+    if (drained_cv_.wait_until(mu_, deadline) == std::cv_status::timeout) {
+      return outstanding_.empty();
+    }
+  }
+  return true;
 }
 
 void SmrClient::issue_one_locked() {
@@ -63,7 +69,7 @@ void SmrClient::send_to_all_locked(const Command& c) {
 void SmrClient::handle_message(NodeId /*from*/, const MessagePtr& m) {
   if (m->type != msg::kReply) return;
   const auto& reply = message_as<ReplyMsg>(m);
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   auto it = outstanding_.find(reply.client_seq);
   if (it == outstanding_.end()) return;  // duplicate reply
   latency_.record(now_ns() - it->second.issued_ns);
@@ -80,7 +86,7 @@ void SmrClient::timer_loop() {
   while (true) {
     std::this_thread::sleep_for(
         std::chrono::milliseconds(config_.tick_interval_ms));
-    std::lock_guard lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) return;
     const std::uint64_t now = now_ns();
     const std::uint64_t timeout_ns = config_.resend_timeout_ms * 1'000'000ull;
@@ -94,7 +100,7 @@ void SmrClient::timer_loop() {
 }
 
 Histogram SmrClient::latency_snapshot() const {
-  std::lock_guard lock(mu_);
+  MutexLock lock(mu_);
   return latency_;
 }
 

@@ -12,15 +12,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "cos/command.h"
 #include "net/transport.h"
 
@@ -68,8 +68,8 @@ class SmrClient {
   };
 
   void handle_message(NodeId from, const MessagePtr& m);
-  void issue_one_locked();
-  void send_to_all_locked(const Command& c);
+  void issue_one_locked() PSMR_REQUIRES(mu_);
+  void send_to_all_locked(const Command& c) PSMR_REQUIRES(mu_);
   void timer_loop();
 
   Transport& net_;
@@ -78,13 +78,16 @@ class SmrClient {
   const std::function<Command()> next_command_;
   NodeId endpoint_ = -1;
 
-  mutable std::mutex mu_;
-  std::condition_variable drained_cv_;
-  std::unordered_map<std::uint64_t, Outstanding> outstanding_;  // by seq
-  std::uint64_t next_seq_ = 1;
-  bool issuing_ = false;
-  bool stopping_ = false;
-  Histogram latency_;
+  // mu_ is held across net_.send (the client rank is the outermost in the
+  // lock hierarchy, above the transport rank).
+  mutable RankedMutex<lock_rank::kSmrClient> mu_;
+  CondVar drained_cv_;
+  std::unordered_map<std::uint64_t, Outstanding> outstanding_
+      PSMR_GUARDED_BY(mu_);  // by seq
+  std::uint64_t next_seq_ PSMR_GUARDED_BY(mu_) = 1;
+  bool issuing_ PSMR_GUARDED_BY(mu_) = false;
+  bool stopping_ PSMR_GUARDED_BY(mu_) = false;
+  Histogram latency_ PSMR_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> completed_{0};
   std::thread timer_;

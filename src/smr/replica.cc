@@ -1,5 +1,6 @@
 #include "smr/replica.h"
 
+#include <future>
 #include <thread>
 
 #include "codec/codec.h"
@@ -26,7 +27,7 @@ Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
 Replica::~Replica() { stop(); }
 
 void Replica::connect(const std::vector<NodeId>& replica_endpoints) {
-  broadcast_ = std::make_unique<SequencedBroadcast>(
+  broadcast_owner_ = std::make_unique<SequencedBroadcast>(
       net_, endpoint_, index_, replica_endpoints, config_.broadcast,
       [this](std::uint64_t seq, const std::vector<Command>& batch) {
         delivered_.push({seq, batch, nullptr});
@@ -36,14 +37,18 @@ void Replica::connect(const std::vector<NodeId>& replica_endpoints) {
   // Careful: the gap handler runs with the broadcast engine's mutex held,
   // so it must not call back into the engine (hence the watermark is passed
   // in rather than queried).
-  broadcast_->set_gap_handler([this](NodeId peer, std::uint64_t delivered) {
-    net_.send(endpoint_, peer, make_message<StateRequestMsg>(delivered));
-  });
+  broadcast_owner_->set_gap_handler(
+      [this](NodeId peer, std::uint64_t delivered) {
+        net_.send(endpoint_, peer, make_message<StateRequestMsg>(delivered));
+      });
+  // Publish only after the engine is fully wired: dispatcher threads that
+  // observe the pointer must see a complete object.
+  broadcast_.store(broadcast_owner_.get(), std::memory_order_release);
 }
 
 void Replica::start() {
   if (running_.exchange(true)) return;
-  broadcast_->start();
+  broadcast_.load(std::memory_order_acquire)->start();
   scheduler_ = std::thread([this] { scheduler_loop(); });
   if (!config_.sequential) {
     for (int w = 0; w < config_.workers; ++w) {
@@ -54,7 +59,7 @@ void Replica::start() {
 
 void Replica::stop() {
   if (!running_.exchange(false)) return;
-  if (broadcast_) broadcast_->stop();
+  if (auto* b = broadcast_.load(std::memory_order_acquire)) b->stop();
   delivered_.close();
   if (cos_) cos_->close();
   if (scheduler_.joinable()) scheduler_.join();
@@ -62,6 +67,12 @@ void Replica::stop() {
     if (worker.joinable()) worker.join();
   }
   workers_.clear();
+  // The scheduler may have exited (COS closed) with control tasks still
+  // queued; run them here so their waiters (e.g. a blocked state_digest)
+  // unblock. All replica threads are joined, so this is race-free.
+  while (auto leftover = delivered_.pop()) {
+    if (leftover->control) leftover->control();
+  }
 }
 
 void Replica::crash() {
@@ -91,7 +102,9 @@ void Replica::handle_message(NodeId from, const MessagePtr& m) {
       break;
     }
     default:
-      if (broadcast_) broadcast_->handle(from, m);
+      if (auto* b = broadcast_.load(std::memory_order_acquire)) {
+        b->handle(from, m);
+      }
       break;
   }
 }
@@ -102,7 +115,7 @@ void Replica::on_request(NodeId from, const RequestMsg& m) {
   std::vector<Command> fresh;
   fresh.reserve(m.commands.size());
   {
-    std::lock_guard lock(clients_mu_);
+    MutexLock lock(clients_mu_);
     for (Command c : m.commands) {
       c.client = static_cast<std::uint64_t>(from);  // authoritative source
       auto it = clients_.find(c.client);
@@ -118,7 +131,8 @@ void Replica::on_request(NodeId from, const RequestMsg& m) {
       fresh.push_back(c);
     }
   }
-  if (!fresh.empty() && broadcast_) broadcast_->submit(fresh);
+  auto* b = broadcast_.load(std::memory_order_acquire);
+  if (!fresh.empty() && b != nullptr) b->submit(fresh);
 }
 
 void Replica::scheduler_loop() {
@@ -135,7 +149,7 @@ void Replica::scheduler_loop() {
     std::vector<Command> fresh;
     fresh.reserve(delivery->batch.size());
     {
-      std::lock_guard lock(clients_mu_);
+      MutexLock lock(clients_mu_);
       for (const Command& c : delivery->batch) {
         auto& state = clients_[c.client];
         if (c.client != 0 && c.client_seq <= state.max_inserted_seq) continue;
@@ -144,6 +158,7 @@ void Replica::scheduler_loop() {
         fresh.back().id = next_command_id_++;
       }
     }
+    scheduled_count_ += fresh.size();
     if (config_.sequential) {
       for (const Command& c : fresh) execute_and_reply(c);
     } else if (!fresh.empty()) {
@@ -166,10 +181,12 @@ void Replica::worker_loop() {
 
 void Replica::execute_and_reply(const Command& c) {
   const Response r = service_->execute(c);
-  executed_.fetch_add(1, std::memory_order_relaxed);
+  // Release so that wait_quiescent's acquire load of executed_ makes this
+  // thread's service-state writes visible to the scheduler.
+  executed_.fetch_add(1, std::memory_order_release);
   if (c.client == 0) return;  // internally generated (tests)
   {
-    std::lock_guard lock(clients_mu_);
+    MutexLock lock(clients_mu_);
     auto& state = clients_[c.client];
     state.replies[c.client_seq] = r;
     // Bounded cache: drop entries far behind.
@@ -187,15 +204,30 @@ void Replica::execute_and_reply(const Command& c) {
             make_message<ReplyMsg>(r.client_seq, r.value, r.ok));
 }
 
-// Spins until every command handed to the COS has been executed and
-// removed. Only called from the scheduler thread, so nothing new is being
-// inserted while we wait; when the population reaches zero the workers are
-// all parked in get() and the service is quiescent.
+// Spins until every command handed off so far has been executed. Only
+// called from the scheduler thread, so nothing new is being scheduled while
+// we wait. Workers bump executed_ with release right after the service
+// call, so once the acquire load reaches scheduled_count_ every worker's
+// service-state writes happen-before this return — the service may be read
+// without synchronization until the scheduler hands off more work.
 void Replica::wait_quiescent() {
-  if (config_.sequential || !cos_) return;
-  while (cos_->approx_size() > 0 && running_.load(std::memory_order_relaxed)) {
+  while (executed_.load(std::memory_order_acquire) < scheduled_count_ &&
+         running_.load(std::memory_order_relaxed)) {
     std::this_thread::yield();
   }
+}
+
+std::uint64_t Replica::state_digest() {
+  auto sample = std::make_shared<std::promise<std::uint64_t>>();
+  auto result = sample->get_future();
+  const bool queued = delivered_.push(
+      {0, {}, [this, sample] { sample->set_value(service_->state_digest()); }});
+  if (!queued) {
+    // Queue closed: the replica is stopped and all its threads are joined,
+    // so a direct read cannot race.
+    return service_->state_digest();
+  }
+  return result.get();
 }
 
 // Checkpoint = service snapshot + the per-client at-most-once table (so a
@@ -207,7 +239,7 @@ std::vector<std::uint8_t> Replica::encode_checkpoint() {
   ByteWriter out;
   const std::vector<std::uint8_t> service_bytes = service_->snapshot();
   out.put_bytes(service_bytes);
-  std::lock_guard lock(clients_mu_);
+  MutexLock lock(clients_mu_);
   out.put_varint(clients_.size());
   for (const auto& [client, state] : clients_) {
     out.put_varint(client);
@@ -228,7 +260,7 @@ bool Replica::decode_checkpoint(std::span<const std::uint8_t> bytes) {
     table[client].max_inserted_seq = in.get_varint();
   }
   if (!in.ok()) return false;
-  std::lock_guard lock(clients_mu_);
+  MutexLock lock(clients_mu_);
   clients_ = std::move(table);
   return true;
 }
@@ -238,18 +270,19 @@ void Replica::serve_state_request(NodeId peer) {
   // last_processed_seq_ is reflected in the service state.
   net_.send(endpoint_, peer,
             make_message<StateResponseMsg>(last_processed_seq_,
-                                           broadcast_->view(),
+                                           view(),
                                            encode_checkpoint()));
 }
 
 void Replica::apply_state_response(const StateResponseMsg& m) {
+  auto* b = broadcast_.load(std::memory_order_acquire);
   if (m.checkpoint_seq <= last_processed_seq_ ||
-      m.checkpoint_seq <= broadcast_->last_delivered()) {
+      m.checkpoint_seq <= b->last_delivered()) {
     return;  // stale or duplicate response
   }
   if (!decode_checkpoint(m.snapshot)) return;  // corrupt; try again later
   last_processed_seq_ = m.checkpoint_seq;
-  broadcast_->install_checkpoint(m.checkpoint_seq);
+  b->install_checkpoint(m.checkpoint_seq);
   state_transfers_.fetch_add(1, std::memory_order_relaxed);
 }
 

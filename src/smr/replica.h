@@ -19,7 +19,6 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -27,6 +26,8 @@
 #include "app/service.h"
 #include "broadcast/sequenced_broadcast.h"
 #include "common/blocking_queue.h"
+#include "common/ranked_mutex.h"
+#include "common/thread_annotations.h"
 #include "cos/factory.h"
 #include "net/transport.h"
 
@@ -63,9 +64,19 @@ class Replica {
   std::uint64_t executed_count() const {
     return executed_.load(std::memory_order_relaxed);
   }
-  std::uint64_t state_digest() const { return service_->state_digest(); }
-  bool is_leader() const { return broadcast_ && broadcast_->is_leader(); }
-  std::uint64_t view() const { return broadcast_ ? broadcast_->view() : 0; }
+  // Samples the service digest at a scheduler quiescent point (a control
+  // task, like state transfer), so the read cannot race with worker
+  // execution. Blocks until the sample is taken; on a stopped replica it
+  // reads directly (all threads are joined).
+  std::uint64_t state_digest();
+  bool is_leader() const {
+    auto* b = broadcast_.load(std::memory_order_acquire);
+    return b != nullptr && b->is_leader();
+  }
+  std::uint64_t view() const {
+    auto* b = broadcast_.load(std::memory_order_acquire);
+    return b != nullptr ? b->view() : 0;
+  }
   const Service& service() const { return *service_; }
   double mean_graph_population() const;
 
@@ -102,7 +113,12 @@ class Replica {
   std::unique_ptr<Service> service_;
   NodeId endpoint_ = -1;
 
-  std::unique_ptr<SequencedBroadcast> broadcast_;
+  // connect() constructs the engine and publishes it through the atomic
+  // pointer; on a real transport a peer's message can reach the dispatcher
+  // thread before (or during) connect(), so the handoff must be a release/
+  // acquire pair, not a bare unique_ptr assignment.
+  std::unique_ptr<SequencedBroadcast> broadcast_owner_;
+  std::atomic<SequencedBroadcast*> broadcast_{nullptr};
   BlockingQueue<Delivery> delivered_;
 
   std::unique_ptr<Cos> cos_;
@@ -110,15 +126,19 @@ class Replica {
   std::vector<std::thread> workers_;
   std::atomic<bool> running_{false};
 
-  // Per-client at-most-once state. Guarded by clients_mu_.
+  // Per-client at-most-once state. clients_mu_ is held across net_.send on
+  // the reply-cache hit path (its rank precedes the transport rank) and is
+  // never held together with COS locks.
   struct ClientState {
     std::uint64_t max_inserted_seq = 0;
     std::unordered_map<std::uint64_t, Response> replies;  // bounded
   };
-  mutable std::mutex clients_mu_;
-  std::unordered_map<std::uint64_t, ClientState> clients_;
+  mutable RankedMutex<lock_rank::kReplicaClients> clients_mu_;
+  std::unordered_map<std::uint64_t, ClientState> clients_
+      PSMR_GUARDED_BY(clients_mu_);
 
   std::atomic<std::uint64_t> executed_{0};
+  std::uint64_t scheduled_count_ = 0;  // commands handed off; scheduler only
   std::atomic<std::uint64_t> population_sum_{0};
   std::atomic<std::uint64_t> population_samples_{0};
   std::uint64_t next_command_id_ = 1;      // scheduler thread only

@@ -79,6 +79,9 @@ std::string smr_param_name(const ::testing::TestParamInfo<SmrParam>& info) {
     case CosKind::kLockFree:
       name = "LockFree";
       break;
+    case CosKind::kStriped:
+      name = "Striped";
+      break;
   }
   return name + "_w" + std::to_string(info.param.workers);
 }
@@ -169,13 +172,15 @@ TEST(SmrBank, TransfersConserveMoneyAcrossReplicas) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_TRUE(deployment.states_converged());
+  // Stop (joining every replica thread) before reading service state
+  // directly, so the reads cannot race with a straggling execution.
+  deployment.stop();
   for (int i = 0; i < deployment.replica_count(); ++i) {
     const auto& bank =
         static_cast<const BankService&>(deployment.replica(i).service());
     EXPECT_EQ(bank.total_balance(), kAccounts * kInitial)
         << "money not conserved at replica " << i;
   }
-  deployment.stop();
 }
 
 TEST(SmrKv, PerKeyConflictsStillLinearizePerKey) {
@@ -201,6 +206,9 @@ TEST(SmrKv, PerKeyConflictsStillLinearizePerKey) {
     std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_TRUE(deployment.states_converged());
+  // Stop (joining every replica thread) before touching the service
+  // directly, so the probe get() cannot race with a straggling execution.
+  deployment.stop();
   const auto& kv =
       static_cast<const KvService&>(deployment.replica(0).service());
   const Response r =
@@ -208,7 +216,6 @@ TEST(SmrKv, PerKeyConflictsStillLinearizePerKey) {
   EXPECT_TRUE(r.ok);
   EXPECT_EQ(r.value, deployment.total_client_completed() - 1)
       << "lost or reordered update on key 42";
-  deployment.stop();
 }
 
 TEST(SmrFaultTolerance, ServiceSurvivesLeaderCrash) {
@@ -339,6 +346,9 @@ TEST(SmrDedup, RetransmissionsExecuteAtMostOnce) {
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
   const std::uint64_t issued = next.load();
+  // Stop (joining every replica thread) before reading service state
+  // directly, so the reads cannot race with a straggling retransmission.
+  deployment.stop();
   for (int i = 0; i < deployment.replica_count(); ++i) {
     const auto& list = static_cast<const LinkedListService&>(
         deployment.replica(i).service());
@@ -348,7 +358,6 @@ TEST(SmrDedup, RetransmissionsExecuteAtMostOnce) {
     EXPECT_EQ(list.size(), deployment.replica(i).executed_count())
         << "duplicate execution at replica " << i;
   }
-  deployment.stop();
 }
 
 }  // namespace
