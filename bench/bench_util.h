@@ -27,6 +27,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/metrics.h"
+
 namespace psmr::bench {
 
 struct Options {
@@ -130,6 +132,11 @@ inline void json_escape_to(std::string* out, const std::string& s) {
 
 // Writes every recorded row, grouped by figure:
 //   { "<figure>": [ {"figure":..,"mode":..,"series":..,"x":..,"y":..}, .. ] }
+// plus a top-level "metrics" key holding the process-wide
+// MetricsRegistry::snapshot() (per-stage breakdowns: COS insert/get/block
+// counters, scheduler batch stats, transport traffic). Baseline comparison
+// ignores it — run_compare only reads "speedup/" rows and the JsonReader
+// skips unknown keys — so committed baselines stay compatible.
 // Returns false (with a message on stderr) if the file cannot be written.
 inline bool json_flush(const Options& options) {
   if (options.json_path.empty()) return true;
@@ -173,6 +180,14 @@ inline bool json_flush(const Options& options) {
     }
     out += "\n  ]";
     out += fi + 1 < figures.size() ? ",\n" : "\n";
+  }
+  const MetricsSnapshot snapshot = MetricsRegistry::global().snapshot();
+  if (!snapshot.empty()) {
+    if (!figures.empty()) {
+      out.erase(out.size() - 1);  // drop trailing '\n' after last ']'
+      out += ",\n";
+    }
+    out += "  \"metrics\": " + snapshot.to_json() + "\n";
   }
   out += "}\n";
   std::fwrite(out.data(), 1, out.size(), f);

@@ -14,7 +14,17 @@ SequencedBroadcast::SequencedBroadcast(Transport& net, NodeId self, int index,
       index_(index),
       replicas_(std::move(replicas)),
       config_(config),
-      deliver_(std::move(deliver)) {}
+      deliver_(std::move(deliver)),
+      metrics_{MetricsRegistry::global().counter("broadcast.proposals"),
+               MetricsRegistry::global().counter("broadcast.delivered_batches"),
+               MetricsRegistry::global().counter(
+                   "broadcast.delivered_commands"),
+               MetricsRegistry::global().counter("broadcast.heartbeats"),
+               MetricsRegistry::global().counter("broadcast.gap_reports"),
+               MetricsRegistry::global().counter(
+                   "broadcast.checkpoint_installs"),
+               MetricsRegistry::global().counter("broadcast.view_changes"),
+               MetricsRegistry::global().gauge("broadcast.seq_lag")} {}
 
 SequencedBroadcast::~SequencedBroadcast() { stop(); }
 
@@ -76,6 +86,7 @@ void SequencedBroadcast::propose_locked() {
     pending_.erase(pending_.begin(), pending_.begin() + static_cast<long>(take));
 
     const std::uint64_t seq = next_seq_++;
+    metrics_.proposals.inc();
     Slot& slot = log_[seq];
     slot.view = view_;
     slot.batch = batch;
@@ -104,6 +115,8 @@ void SequencedBroadcast::try_deliver_locked() {
     it->second.delivered = true;
     const std::uint64_t seq = ++last_delivered_;
     std::vector<Command> batch = it->second.batch;  // keep for view changes
+    metrics_.delivered_batches.inc();
+    metrics_.delivered_commands.inc(batch.size());
     // Deliver outside mu_ (the callback pushes into the scheduler queue and
     // must not see the broadcast lock held); delivering_ keeps this loop
     // single-threaded across the gap.
@@ -118,6 +131,12 @@ void SequencedBroadcast::try_deliver_locked() {
     }
   }
   delivering_ = false;
+  // Lag behind the highest slot we know of (committed or not); 0 when the
+  // log is fully delivered or empty.
+  const std::uint64_t top = log_.empty() ? last_delivered_
+                                         : std::max(log_.rbegin()->first,
+                                                    last_delivered_);
+  metrics_.seq_lag.set(static_cast<std::int64_t>(top - last_delivered_));
 }
 
 void SequencedBroadcast::handle(NodeId from, const MessagePtr& m) {
@@ -242,12 +261,14 @@ void SequencedBroadcast::maybe_report_gap_locked(int from_index,
     return;
   }
   last_gap_report_ns_ = now;
+  metrics_.gap_reports.inc();
   on_gap_(replicas_[static_cast<std::size_t>(from_index)], last_delivered_);
 }
 
 void SequencedBroadcast::install_checkpoint(std::uint64_t seq) {
   MutexLock lock(mu_);
   if (seq <= last_delivered_) return;
+  metrics_.checkpoint_installs.inc();
   last_delivered_ = seq;
   while (!log_.empty() && log_.begin()->first <= seq) {
     log_.erase(log_.begin());
@@ -265,6 +286,7 @@ std::vector<LogEntrySummary> SequencedBroadcast::accepted_log_locked() const {
 }
 
 void SequencedBroadcast::start_view_change_locked(std::uint64_t target_view) {
+  metrics_.view_changes.inc();
   view_changing_ = true;
   target_view_ = target_view;
   view_change_msgs_.clear();
@@ -368,6 +390,7 @@ void SequencedBroadcast::timer_loop() {
       }
       if (now - last_heartbeat_sent_ns_ >=
           config_.heartbeat_interval_ms * 1'000'000ull) {
+        metrics_.heartbeats.inc();
         broadcast_to_replicas_locked(
             make_message<HeartbeatMsg>(view_, last_delivered_));
         last_heartbeat_sent_ns_ = now;

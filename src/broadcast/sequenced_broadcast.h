@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "broadcast/messages.h"
+#include "common/metrics.h"
 #include "common/ranked_mutex.h"
 #include "common/thread_annotations.h"
 #include "net/transport.h"
@@ -126,6 +127,17 @@ class SequencedBroadcast {
     return static_cast<int>(v % replicas_.size());
   }
 
+  struct Metrics {
+    Counter& proposals;           // batches proposed (leader side)
+    Counter& delivered_batches;   // batches delivered in order
+    Counter& delivered_commands;  // commands in those batches
+    Counter& heartbeats;          // heartbeats sent while leader
+    Counter& gap_reports;         // gap handler firings (throttled)
+    Counter& checkpoint_installs;
+    Counter& view_changes;        // view changes this replica initiated
+    Gauge& seq_lag;               // highest slot seen minus delivered
+  };
+
   // All of the following require mu_ held. try_deliver_locked releases and
   // reacquires mu_ around the deliver callback (directly on the mutex, so
   // the static analysis and the rank checker both track it).
@@ -181,6 +193,8 @@ class SequencedBroadcast {
   std::uint64_t target_view_ PSMR_GUARDED_BY(mu_) = 0;
   std::map<int, ViewChangeMsg> view_change_msgs_
       PSMR_GUARDED_BY(mu_);  // by replica index
+
+  Metrics metrics_;
 
   std::thread timer_;
   CondVar timer_cv_;

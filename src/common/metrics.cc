@@ -1,0 +1,175 @@
+#include "common/metrics.h"
+
+#include <cstdio>
+
+namespace psmr {
+
+namespace {
+
+void append_json_escaped(std::string& out, std::string_view s) {
+  // Metric names are [a-z0-9._] by convention, but stay safe anyway.
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "psmr_";
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::uint64_t MetricsSnapshot::counter(std::string_view name) const {
+  auto it = counters.find(std::string(name));
+  return it == counters.end() ? 0 : it->second;
+}
+
+std::int64_t MetricsSnapshot::gauge(std::string_view name) const {
+  auto it = gauges.find(std::string(name));
+  return it == gauges.end() ? 0 : it->second;
+}
+
+std::string MetricsSnapshot::to_json() const {
+  std::string out = "{";
+  bool first = true;
+  auto sep = [&] {
+    if (!first) out.push_back(',');
+    first = false;
+  };
+  for (const auto& [name, value] : counters) {
+    sep();
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  for (const auto& [name, value] : gauges) {
+    sep();
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":";
+    out += std::to_string(value);
+  }
+  for (const auto& [name, h] : histograms) {
+    sep();
+    out.push_back('"');
+    append_json_escaped(out, name);
+    out += "\":{\"count\":";
+    out += std::to_string(h.count);
+    out += ",\"mean\":";
+    out += format_double(h.mean);
+    out += ",\"p50\":";
+    out += std::to_string(h.p50);
+    out += ",\"p99\":";
+    out += std::to_string(h.p99);
+    out += ",\"max\":";
+    out += std::to_string(h.max);
+    out += "}";
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string MetricsSnapshot::to_prometheus() const {
+  std::string out;
+  for (const auto& [name, value] : counters) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, value] : gauges) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " " + std::to_string(value) + "\n";
+  }
+  for (const auto& [name, h] : histograms) {
+    const std::string prom = prometheus_name(name);
+    out += "# TYPE " + prom + " summary\n";
+    out += prom + "_count " + std::to_string(h.count) + "\n";
+    out += prom + "_mean " + format_double(h.mean) + "\n";
+    out += prom + "{quantile=\"0.5\"} " + std::to_string(h.p50) + "\n";
+    out += prom + "{quantile=\"0.99\"} " + std::to_string(h.p99) + "\n";
+    out += prom + "_max " + std::to_string(h.max) + "\n";
+  }
+  return out;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Leaked on purpose: metric references handed out to components must stay
+  // valid through static destruction order.
+  static MetricsRegistry* const registry = new MetricsRegistry();
+  return *registry;
+}
+
+#if PSMR_METRICS_ENABLED
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<HistogramMetric>())
+             .first;
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, counter] : counters_) {
+    snap.counters[name] = counter->value();
+  }
+  for (const auto& [name, gauge] : gauges_) {
+    snap.gauges[name] = gauge->value();
+  }
+  for (const auto& [name, hist] : histograms_) {
+    const Histogram h = hist->snapshot();
+    MetricsSnapshot::HistStats stats;
+    stats.count = h.count();
+    if (stats.count > 0) {
+      stats.mean = h.mean();
+      stats.p50 = h.percentile(50.0);
+      stats.p99 = h.percentile(99.0);
+      stats.max = h.max();
+    }
+    snap.histograms[name] = stats;
+  }
+  return snap;
+}
+
+#endif  // PSMR_METRICS_ENABLED
+
+}  // namespace psmr

@@ -14,7 +14,9 @@
 
 #include <cstddef>
 
+#include "common/metrics.h"
 #include "common/ranked_mutex.h"
+#include "common/stopwatch.h"
 #include "common/thread_annotations.h"
 
 namespace psmr {
@@ -26,11 +28,28 @@ class Semaphore {
   Semaphore(const Semaphore&) = delete;
   Semaphore& operator=(const Semaphore&) = delete;
 
+  // Optional block accounting: when set, each acquire() that actually parks
+  // bumps `blocks` once and adds the time parked to `blocked_ns`. Must be
+  // called before the semaphore is shared between threads (COS variants do
+  // it in their constructors); the fast non-blocking path stays untouched.
+  void instrument(Counter* blocks, Counter* blocked_ns) {
+    blocks_metric_ = blocks;
+    blocked_ns_metric_ = blocked_ns;
+  }
+
   // Blocks until a permit is available or the semaphore is closed.
   // Returns true if a permit was consumed, false if closed (close is
   // immediate: remaining permits are not drained).
   bool acquire() {
     MutexLock lock(mu_);
+    if constexpr (kMetricsEnabled) {
+      if (count_ <= 0 && !closed_ && blocks_metric_ != nullptr) {
+        blocks_metric_->inc();
+        const std::uint64_t t0 = now_ns();
+        while (count_ <= 0 && !closed_) cv_.wait(mu_);
+        blocked_ns_metric_->inc(now_ns() - t0);
+      }
+    }
     while (count_ <= 0 && !closed_) cv_.wait(mu_);
     if (closed_) return false;
     --count_;
@@ -85,6 +104,9 @@ class Semaphore {
   CondVar cv_;
   std::ptrdiff_t count_ PSMR_GUARDED_BY(mu_);
   bool closed_ PSMR_GUARDED_BY(mu_) = false;
+  // Set once before sharing (see instrument()); read under mu_.
+  Counter* blocks_metric_ = nullptr;
+  Counter* blocked_ns_metric_ = nullptr;
 };
 
 }  // namespace psmr

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "common/stopwatch.h"
+#include "cos/cos_metrics.h"
+
 namespace psmr {
 
 CoarseGrainedCos::CoarseGrainedCos(std::size_t max_size, ConflictFn conflict,
@@ -15,8 +18,17 @@ CoarseGrainedCos::~CoarseGrainedCos() { close(); }
 
 bool CoarseGrainedCos::insert(const Command& c) {
   MutexLock lock(mu_);
+  if constexpr (kMetricsEnabled) {
+    if (nodes_.size() >= max_size_ && !closed_) {
+      cos_metrics().insert_blocks.inc();
+      const std::uint64_t t0 = now_ns();
+      while (nodes_.size() >= max_size_ && !closed_) not_full_.wait(mu_);
+      cos_metrics().insert_block_ns.inc(now_ns() - t0);
+    }
+  }
   while (nodes_.size() >= max_size_ && !closed_) not_full_.wait(mu_);
   if (closed_) return false;
+  cos_metrics().inserts.inc();
 
   nodes_.emplace_back(c);
   auto it = std::prev(nodes_.end());
@@ -49,19 +61,35 @@ bool CoarseGrainedCos::insert(const Command& c) {
       }
     }
   }
-  if (added.pending_in == 0) has_ready_.notify_one();
+  if (added.pending_in == 0) {
+    cos_metrics().ready_enq.inc();
+    has_ready_.notify_one();
+  }
   return true;
 }
 
 CosHandle CoarseGrainedCos::get() {
   MutexLock lock(mu_);
+  bool blocked = false;
+  std::uint64_t t0 = 0;
   while (true) {
     if (closed_) return {};
     // Alg. 2 line 22-26: oldest waiting node with no dependencies.
     for (Node& node : nodes_) {
       if (!node.executing && node.pending_in == 0) {
         node.executing = true;
+        if constexpr (kMetricsEnabled) {
+          if (blocked) cos_metrics().get_block_ns.inc(now_ns() - t0);
+        }
+        cos_metrics().gets.inc();
         return {&node.cmd, &node};
+      }
+    }
+    if constexpr (kMetricsEnabled) {
+      if (!blocked) {
+        blocked = true;
+        t0 = now_ns();
+        cos_metrics().get_blocks.inc();
       }
     }
     has_ready_.wait(mu_);
@@ -75,6 +103,8 @@ void CoarseGrainedCos::remove(CosHandle h) {
   for (Node* dependent : node->out) {
     if (--dependent->pending_in == 0 && !dependent->executing) ++freed;
   }
+  cos_metrics().removes.inc();
+  if (freed > 0) cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(freed));
   if (freed == 1) {
     has_ready_.notify_one();
   } else if (freed > 1) {

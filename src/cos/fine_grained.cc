@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "cos/cos_metrics.h"
+
 namespace psmr {
 
 FineGrainedCos::FineGrainedCos(std::size_t max_size, ConflictFn conflict,
@@ -12,7 +14,11 @@ FineGrainedCos::FineGrainedCos(std::size_t max_size, ConflictFn conflict,
       extract_(indexed ? conflict_key_extractor(conflict) : nullptr),
       index_(extract_ != nullptr ? max_size : 1),
       space_(static_cast<std::ptrdiff_t>(max_size)),
-      ready_(0) {}
+      ready_(0) {
+  space_.instrument(&cos_metrics().insert_blocks,
+                    &cos_metrics().insert_block_ns);
+  ready_.instrument(&cos_metrics().get_blocks, &cos_metrics().get_block_ns);
+}
 
 FineGrainedCos::~FineGrainedCos() {
   close();
@@ -67,7 +73,11 @@ bool FineGrainedCos::insert(const Command& c) {
   const bool is_ready = added->in_count == 0;
   prev_lock.unlock();
   added_lock.unlock();
-  if (is_ready) ready_.release();
+  cos_metrics().inserts.inc();
+  if (is_ready) {
+    cos_metrics().ready_enq.inc();
+    ready_.release();
+  }
   return true;
 }
 
@@ -141,12 +151,17 @@ bool FineGrainedCos::insert_indexed(const Command& c) {
     added->executing = false;
     is_ready = added->in_count == 0;
   }
-  if (is_ready) ready_.release();
+  cos_metrics().inserts.inc();
+  if (is_ready) {
+    cos_metrics().ready_enq.inc();
+    ready_.release();
+  }
   return true;
 }
 
 CosHandle FineGrainedCos::get() {
   if (!ready_.acquire()) return {};  // closed
+  cos_metrics().gets.inc();
   while (true) {
     // The permit guarantees a ready node exists *somewhere*; it may be
     // behind us by the time we pass it (another thread's remove() can free
@@ -234,6 +249,8 @@ void FineGrainedCos::remove(CosHandle h) {
   }
   delete node;
   population_.fetch_sub(1, std::memory_order_relaxed);
+  cos_metrics().removes.inc();
+  if (freed > 0) cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(freed));
   ready_.release(freed);
   space_.release();
 }

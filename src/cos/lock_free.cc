@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "cos/cos_metrics.h"
+
 namespace psmr {
 
 LockFreeCos::Node::~Node() { delete[] dep_me.load(std::memory_order_relaxed); }
@@ -16,6 +18,9 @@ LockFreeCos::LockFreeCos(std::size_t max_size, ConflictFn conflict,
       index_(extract_ != nullptr ? max_size : 1),
       space_(static_cast<std::ptrdiff_t>(max_size)),
       ready_(0) {
+  space_.instrument(&cos_metrics().insert_blocks,
+                    &cos_metrics().insert_block_ns);
+  ready_.instrument(&cos_metrics().get_blocks, &cos_metrics().get_block_ns);
   // Every retire into this domain comes from the insert thread: physical
   // removal (helped_remove) and dep_me array replacement are confined to it
   // (§6.2.1). Have the EBR domain abort in debug builds if that ever stops
@@ -46,6 +51,10 @@ LockFreeCos::~LockFreeCos() {
 bool LockFreeCos::insert(const Command& c) {
   if (!space_.acquire()) return false;  // closed
   const int ready_nodes = lf_insert(c);
+  cos_metrics().inserts.inc();
+  if (ready_nodes > 0) {
+    cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(ready_nodes));
+  }
   ready_.release(ready_nodes);
   return true;
 }
@@ -58,6 +67,10 @@ bool LockFreeCos::insert_batch(std::span<const Command> batch) {
       if (!space_.acquire()) return false;  // closed
     }
     const int ready_nodes = lf_insert_batch(batch.first(take));
+    cos_metrics().inserts.inc(take);
+    if (ready_nodes > 0) {
+      cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(ready_nodes));
+    }
     ready_.release(ready_nodes);
     batch = batch.subspan(take);
   }
@@ -68,12 +81,17 @@ CosHandle LockFreeCos::get() {
   if (!ready_.acquire()) return {};  // closed
   Node* node = lf_get();
   if (node == nullptr) return {};  // closed while searching
+  cos_metrics().gets.inc();
   return {&node->cmd, node};
 }
 
 void LockFreeCos::remove(CosHandle h) {
   auto* node = static_cast<Node*>(h.node);
   const int ready_nodes = lf_remove(node);
+  cos_metrics().removes.inc();
+  if (ready_nodes > 0) {
+    cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(ready_nodes));
+  }
   ready_.release(ready_nodes);
   space_.release();
 }

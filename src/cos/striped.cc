@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <thread>
 
+#include "cos/cos_metrics.h"
+
 namespace psmr {
 namespace {
 
@@ -22,7 +24,11 @@ StripedCos::StripedCos(std::size_t max_size, ConflictFn conflict,
       index_(extract_ != nullptr ? max_size : 1),
       space_(static_cast<std::ptrdiff_t>(max_size)),
       ready_(0),
-      head_(0) {}
+      head_(0) {
+  space_.instrument(&cos_metrics().insert_blocks,
+                    &cos_metrics().insert_block_ns);
+  ready_.instrument(&cos_metrics().get_blocks, &cos_metrics().get_block_ns);
+}
 
 StripedCos::~StripedCos() {
   close();
@@ -148,12 +154,17 @@ bool StripedCos::insert(const Command& c) {
     is_ready = added->in_count == 0;
   }
   population_.fetch_add(1, std::memory_order_relaxed);
-  if (is_ready) ready_.release();
+  cos_metrics().inserts.inc();
+  if (is_ready) {
+    cos_metrics().ready_enq.inc();
+    ready_.release();
+  }
   return true;
 }
 
 CosHandle StripedCos::get() {
   if (!ready_.acquire()) return {};  // closed
+  cos_metrics().gets.inc();
   while (true) {
     Segment* prev = &head_;
     std::unique_lock prev_lock(prev->mx);
@@ -212,6 +223,8 @@ void StripedCos::remove(CosHandle h) {
   }
 
   population_.fetch_sub(1, std::memory_order_relaxed);
+  cos_metrics().removes.inc();
+  if (freed > 0) cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(freed));
   ready_.release(freed);
   space_.release();
 }

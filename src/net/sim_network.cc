@@ -7,7 +7,11 @@
 namespace psmr {
 
 SimNetwork::SimNetwork(Config config)
-    : config_(config), rng_(config.seed) {
+    : config_(config),
+      rng_(config.seed),
+      metrics_{MetricsRegistry::global().counter("net.sim.delivered"),
+               MetricsRegistry::global().counter("net.sim.dropped"),
+               MetricsRegistry::global().gauge("net.sim.inflight")} {
   delivery_thread_ = std::thread([this] { delivery_loop(); });
 }
 
@@ -19,8 +23,16 @@ NodeId SimNetwork::add_endpoint(Handler handler) {
   auto endpoint = std::make_unique<Endpoint>();
   endpoint->handler = std::move(handler);
   Endpoint* raw = endpoint.get();
-  endpoint->dispatcher = std::thread([raw] {
+  endpoint->dispatcher = std::thread([this, raw] {
     while (auto item = raw->inbox.pop()) {
+      // remove_endpoint closes the inbox and joins this thread; drop (do
+      // not dispatch) whatever the close left behind — the handler's owner
+      // is being destroyed.
+      if (raw->removed.load(std::memory_order_acquire)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.dropped.inc();
+        continue;
+      }
       raw->handler(item->first, std::move(item->second));
     }
   });
@@ -36,10 +48,12 @@ void SimNetwork::send(NodeId from, NodeId to, MessagePtr msg) {
   if (endpoints_[static_cast<std::size_t>(from)]->crashed.load(
           std::memory_order_relaxed)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.dropped.inc();
     return;
   }
   if (config_.drop_rate > 0.0 && rng_.uniform() < config_.drop_rate) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.dropped.inc();
     return;
   }
   const std::uint64_t latency_ns =
@@ -53,6 +67,7 @@ void SimNetwork::send(NodeId from, NodeId to, MessagePtr msg) {
   deliver_at = std::max(deliver_at, last + 1);
   last = deliver_at;
   queue_.push({deliver_at, next_sequence_++, from, to, std::move(msg)});
+  metrics_.inflight.add(1);
   cv_.notify_one();
 }
 
@@ -78,8 +93,66 @@ void SimNetwork::crash(NodeId node) {
     if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return;
     endpoint = endpoints_[static_cast<std::size_t>(node)].get();
     endpoint->crashed.store(true, std::memory_order_relaxed);
+    // Drop its queued traffic now and forget its per-link FIFO state:
+    // long-running fault tests crash many endpoints, and dead links must
+    // not accumulate.
+    purge_node_locked(node);
   }
   endpoint->inbox.close();
+}
+
+void SimNetwork::remove_endpoint(NodeId node) {
+  Endpoint* endpoint = nullptr;
+  {
+    MutexLock lock(mu_);
+    if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return;
+    endpoint = endpoints_[static_cast<std::size_t>(node)].get();
+    if (endpoint->removed.exchange(true, std::memory_order_acq_rel)) {
+      endpoint = nullptr;  // another remover owns the join
+    } else {
+      purge_node_locked(node);
+    }
+  }
+  if (endpoint == nullptr) return;
+  // Close and join outside mu_: the handler may be inside send() right now.
+  endpoint->inbox.close();
+  if (endpoint->dispatcher.joinable()) endpoint->dispatcher.join();
+}
+
+void SimNetwork::purge_node_locked(NodeId node) {
+  for (auto it = last_delivery_.begin(); it != last_delivery_.end();) {
+    if (it->first.first == node || it->first.second == node) {
+      it = last_delivery_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (queue_.empty()) return;
+  std::vector<InFlight> survivors;
+  survivors.reserve(queue_.size());
+  while (!queue_.empty()) {
+    // priority_queue::top is const; the copy is cheap (shared_ptr payload).
+    InFlight item = queue_.top();
+    queue_.pop();
+    if (item.to == node || item.from == node) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.dropped.inc();
+      metrics_.inflight.sub(1);
+    } else {
+      survivors.push_back(std::move(item));
+    }
+  }
+  for (InFlight& item : survivors) queue_.push(std::move(item));
+}
+
+std::size_t SimNetwork::link_state_entries() const {
+  MutexLock lock(mu_);
+  return last_delivery_.size();
+}
+
+std::size_t SimNetwork::in_flight() const {
+  MutexLock lock(mu_);
+  return queue_.size();
 }
 
 bool SimNetwork::crashed(NodeId node) const {
@@ -106,19 +179,22 @@ void SimNetwork::delivery_loop() {
     }
     InFlight item = queue_.top();
     queue_.pop();
+    metrics_.inflight.sub(1);
     Endpoint& to = *endpoints_[static_cast<std::size_t>(item.to)];
     const bool deliverable =
         !to.crashed.load(std::memory_order_relaxed) &&
         !endpoints_[static_cast<std::size_t>(item.from)]->crashed.load(
             std::memory_order_relaxed) &&
         link_up_locked(item.from, item.to);
-    if (deliverable) {
-      // Push outside the lock would be nicer, but the inbox push never
-      // blocks (unbounded queue), so holding mu_ here is bounded.
-      to.inbox.push({item.from, std::move(item.msg)});
+    // Push outside the lock would be nicer, but the inbox push never
+    // blocks (unbounded queue), so holding mu_ here is bounded. A push to
+    // a closed inbox (removed endpoint) reports the message as dropped.
+    if (deliverable && to.inbox.push({item.from, std::move(item.msg)})) {
       delivered_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.delivered.inc();
     } else {
       dropped_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.dropped.inc();
     }
   }
 }

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/metrics.h"
 #include "common/ranked_mutex.h"
 #include "common/rng.h"
 #include "common/thread_annotations.h"
@@ -67,6 +68,16 @@ class SimNetwork final : public Transport {
   void crash(NodeId node) override;
   bool crashed(NodeId node) const override;
 
+  // Deregisters an endpoint (Transport contract): joins its dispatcher, so
+  // on return no handler invocation is running or will start. In-flight
+  // messages to the endpoint and its per-link FIFO state are purged.
+  void remove_endpoint(NodeId node) override;
+
+  // Test hooks for the purge logic: per-link FIFO entries retained and
+  // messages currently queued for delivery.
+  std::size_t link_state_entries() const;
+  std::size_t in_flight() const;
+
   // Statistics.
   std::uint64_t messages_delivered() const override {
     return delivered_.load(std::memory_order_relaxed);
@@ -97,9 +108,21 @@ class SimNetwork final : public Transport {
     BlockingQueue<std::pair<NodeId, MessagePtr>> inbox;
     std::thread dispatcher;
     std::atomic<bool> crashed{false};
+    // Set by remove_endpoint; the dispatcher drops (not dispatches) any
+    // inbox remainder once it observes the flag.
+    std::atomic<bool> removed{false};
+  };
+
+  struct Metrics {
+    Counter& delivered;
+    Counter& dropped;
+    Gauge& inflight;
   };
 
   bool link_up_locked(NodeId a, NodeId b) const PSMR_REQUIRES(mu_);
+  // Drops queued in-flight messages to/from `node` and erases its per-link
+  // FIFO entries. Shared by crash() and remove_endpoint().
+  void purge_node_locked(NodeId node) PSMR_REQUIRES(mu_);
   void delivery_loop();
 
   const Config config_;
@@ -124,6 +147,7 @@ class SimNetwork final : public Transport {
 
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  Metrics metrics_;
 };
 
 }  // namespace psmr

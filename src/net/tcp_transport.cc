@@ -50,7 +50,19 @@ void set_nodelay(int fd) {
 
 }  // namespace
 
-TcpTransport::TcpTransport(Config config) : config_(std::move(config)) {
+TcpTransport::TcpTransport(Config config)
+    : config_(std::move(config)),
+      metrics_{MetricsRegistry::global().counter("net.tcp.frames_in"),
+               MetricsRegistry::global().counter("net.tcp.frames_out"),
+               MetricsRegistry::global().counter("net.tcp.bytes_in"),
+               MetricsRegistry::global().counter("net.tcp.bytes_out"),
+               MetricsRegistry::global().counter("net.tcp.delivered"),
+               MetricsRegistry::global().counter("net.tcp.dropped"),
+               MetricsRegistry::global().counter("net.tcp.dials"),
+               MetricsRegistry::global().counter("net.tcp.accepts"),
+               MetricsRegistry::global().counter("net.tcp.backoffs"),
+               MetricsRegistry::global().counter("net.tcp.peers_dead"),
+               MetricsRegistry::global().gauge("net.tcp.outq_bytes")} {
   for (const auto& [id, address] : config_.peers) {
     if (id == config_.local_id) continue;
     peers_[id].address = address;
@@ -98,10 +110,25 @@ NodeId TcpTransport::add_endpoint(Handler handler) {
   io_thread_ = std::thread([this] { io_loop(); });
   dispatcher_ = std::thread([this] {
     while (auto item = inbox_.pop()) {
+      // Per-message gate so remove_endpoint can fence out the handler; see
+      // the dispatch_mu_ comment in the header.
+      std::lock_guard<std::mutex> gate(dispatch_mu_);
+      if (endpoint_removed_.load(std::memory_order_relaxed)) {
+        drop_message();
+        continue;
+      }
       handler_(item->first, std::move(item->second));
     }
   });
   return config_.local_id;
+}
+
+void TcpTransport::remove_endpoint(NodeId node) {
+  if (node != config_.local_id) return;
+  endpoint_removed_.store(true, std::memory_order_relaxed);
+  // Wait out an in-progress handler invocation; any dispatch that starts
+  // after this unlock observes the flag (the mutex orders the store).
+  std::lock_guard<std::mutex> gate(dispatch_mu_);
 }
 
 void TcpTransport::send(NodeId from, NodeId to, MessagePtr msg) {
@@ -123,6 +150,7 @@ void TcpTransport::send(NodeId from, NodeId to, MessagePtr msg) {
   if (to == config_.local_id) {  // self-send: no socket round trip
     if (inbox_.push({from, std::move(msg)})) {
       delivered_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.delivered.inc();
     } else {
       drop_message();
     }
@@ -143,6 +171,7 @@ void TcpTransport::send(NodeId from, NodeId to, MessagePtr msg) {
   wire::put_u32_le(frame, static_cast<std::uint32_t>(payload.size()));
   frame.insert(frame.end(), payload.begin(), payload.end());
   peer.outq_bytes += frame.size();
+  metrics_.outq_bytes.add(static_cast<std::int64_t>(frame.size()));
   peer.outq.push_back(std::move(frame));
   wake();
 }
@@ -206,16 +235,20 @@ void TcpTransport::close_conn_locked(Conn& conn, bool connect_failed) {
       // on the next connection (the receiver never completed it, so this
       // cannot duplicate a delivery).
       peer.outq_bytes += peer.outq_off;
+      metrics_.outq_bytes.add(static_cast<std::int64_t>(peer.outq_off));
       peer.outq_off = 0;
       if (!peer.address.empty()) {
         peer.attempts = connect_failed ? peer.attempts + 1 : 1;
         peer.next_retry_ns = now_ns() + backoff_ns(peer.attempts);
+        metrics_.backoffs.inc();
         if (peer.attempts > config_.reconnect_max_attempts) {
           peer.dead = true;
+          metrics_.peers_dead.inc();
           while (!peer.outq.empty()) {
             peer.outq.pop_front();
             drop_message();
           }
+          metrics_.outq_bytes.sub(static_cast<std::int64_t>(peer.outq_bytes));
           peer.outq_bytes = 0;
         }
       }
@@ -234,21 +267,28 @@ void TcpTransport::maybe_dial_locked(NodeId id, Peer& peer,
   if (!resolve_hostport(peer.address, &addr)) {
     peer.attempts++;
     peer.next_retry_ns = now + backoff_ns(peer.attempts);
+    metrics_.backoffs.inc();
     return;
   }
   const int fd = socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     peer.attempts++;
     peer.next_retry_ns = now + backoff_ns(peer.attempts);
+    metrics_.backoffs.inc();
     return;
   }
   set_nodelay(fd);
+  metrics_.dials.inc();
   const int rc = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
   if (rc != 0 && errno != EINPROGRESS) {
     close(fd);
     peer.attempts++;
     peer.next_retry_ns = now + backoff_ns(peer.attempts);
-    if (peer.attempts > config_.reconnect_max_attempts) peer.dead = true;
+    metrics_.backoffs.inc();
+    if (peer.attempts > config_.reconnect_max_attempts) {
+      peer.dead = true;
+      metrics_.peers_dead.inc();
+    }
     return;
   }
   auto conn = std::make_unique<Conn>();
@@ -290,6 +330,7 @@ void TcpTransport::accept_ready_locked() {
         accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) return;  // EAGAIN or transient error
     set_nodelay(fd);
+    metrics_.accepts.inc();
     auto conn = std::make_unique<Conn>();
     conn->fd = fd;
     conn->wbuf =
@@ -329,6 +370,7 @@ bool TcpTransport::parse_inbound_locked(Conn& conn) {
           }
           peer.conn = &conn;
           peer.outq_bytes += peer.outq_off;  // re-send any partial frame whole
+          metrics_.outq_bytes.add(static_cast<std::int64_t>(peer.outq_off));
           peer.outq_off = 0;
           peer.dead = false;
         }
@@ -343,9 +385,11 @@ bool TcpTransport::parse_inbound_locked(Conn& conn) {
     MessagePtr msg = decode_message(
         {conn.rbuf.data() + pos + wire::kFrameHeaderBytes, length});
     pos += wire::kFrameHeaderBytes + length;
+    metrics_.frames_in.inc();
     if (msg) {
       if (inbox_.push({conn.peer, std::move(msg)})) {
         delivered_.fetch_add(1, std::memory_order_relaxed);
+        metrics_.delivered.inc();
       } else {
         drop_message();
       }
@@ -362,6 +406,7 @@ void TcpTransport::handle_readable_locked(Conn& conn) {
     std::uint8_t chunk[64 * 1024];
     const ssize_t n = recv(conn.fd, chunk, sizeof(chunk), 0);
     if (n > 0) {
+      metrics_.bytes_in.inc(static_cast<std::uint64_t>(n));
       conn.rbuf.insert(conn.rbuf.end(), chunk, chunk + n);
       if (static_cast<std::size_t>(n) < sizeof(chunk)) break;
       continue;
@@ -401,9 +446,12 @@ void TcpTransport::flush_peer_locked(Peer& peer) {
     if (n > 0) {
       peer.outq_off += static_cast<std::size_t>(n);
       peer.outq_bytes -= static_cast<std::size_t>(n);
+      metrics_.bytes_out.inc(static_cast<std::uint64_t>(n));
+      metrics_.outq_bytes.sub(n);
       if (peer.outq_off == front.size()) {
         peer.outq.pop_front();
         peer.outq_off = 0;
+        metrics_.frames_out.inc();
       }
       continue;
     }

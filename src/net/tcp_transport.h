@@ -38,11 +38,13 @@
 #include <deque>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/blocking_queue.h"
+#include "common/metrics.h"
 #include "common/ranked_mutex.h"
 #include "common/thread_annotations.h"
 #include "net/transport.h"
@@ -94,6 +96,12 @@ class TcpTransport final : public Transport {
   NodeId add_endpoint(Handler handler) override;
 
   void send(NodeId from, NodeId to, MessagePtr msg) override;
+
+  // Deregisters the (single) hosted endpoint: once this returns, no handler
+  // invocation is running or will start; later inbound messages are counted
+  // as dropped. The transport's sockets stay up (shutdown() still drains).
+  void remove_endpoint(NodeId node) override;
+
   void shutdown() override;
 
   std::uint64_t messages_delivered() const override {
@@ -145,9 +153,26 @@ class TcpTransport final : public Transport {
   std::uint64_t next_timer_locked(std::uint64_t now) const PSMR_REQUIRES(mu_);
   void wake();
 
+  struct Metrics {
+    Counter& frames_in;
+    Counter& frames_out;
+    Counter& bytes_in;
+    Counter& bytes_out;
+    Counter& delivered;
+    Counter& dropped;
+    Counter& dials;      // outbound connection attempts started
+    Counter& accepts;    // inbound connections accepted
+    Counter& backoffs;   // reconnect backoffs scheduled
+    Counter& peers_dead; // peers given up on (retry cap)
+    Gauge& outq_bytes;   // queued outbound bytes across all peers
+  };
+
   Peer& peer_entry_locked(NodeId id) PSMR_REQUIRES(mu_);
   std::uint64_t backoff_ns(int attempts) const;
-  void drop_message() { dropped_.fetch_add(1, std::memory_order_relaxed); }
+  void drop_message() {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.dropped.inc();
+  }
 
   const Config config_;
   // Set once in add_endpoint() before the dispatcher thread starts, read
@@ -172,8 +197,19 @@ class TcpTransport final : public Transport {
   std::thread io_thread_;
   std::thread dispatcher_;
 
+  // remove_endpoint gate. A plain std::mutex on purpose: it is held across
+  // handler_ invocations, which acquire client/replica locks that rank
+  // *below* the transport rank — a ranked mutex here would trip the
+  // checker. The dispatcher takes it per message; remove_endpoint sets the
+  // flag and then acquires it once, which both waits out any in-progress
+  // handler and (via the mutex's release/acquire) publishes the flag to
+  // every later dispatch.
+  std::mutex dispatch_mu_;
+  std::atomic<bool> endpoint_removed_{false};
+
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
+  Metrics metrics_;
 };
 
 }  // namespace psmr

@@ -49,6 +49,16 @@ class Transport {
   // (counted in messages_dropped()), never an error.
   virtual void send(NodeId from, NodeId to, MessagePtr msg) = 0;
 
+  // Deregisters an endpoint's handler. Blocks until any in-progress handler
+  // invocation for the endpoint has returned; after this returns, no
+  // handler for `node` is running or will ever run again, so the handler's
+  // owner can be destroyed (the SmrClient/Replica destructors rely on
+  // this). Messages addressed to the endpoint are dropped from then on.
+  // Safe on crashed and already-removed endpoints; ids not hosted by this
+  // transport are ignored. Callers must not hold locks that the endpoint's
+  // handler also takes.
+  virtual void remove_endpoint(NodeId node) = 0;
+
   // Stops all transport threads and closes connections; idempotent. After
   // shutdown() returns no handler is running or will run, so handler
   // owners can safely be destroyed.

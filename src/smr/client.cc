@@ -10,17 +10,27 @@ SmrClient::SmrClient(Transport& net, std::vector<NodeId> replicas,
     : net_(net),
       replicas_(std::move(replicas)),
       config_(config),
-      next_command_(std::move(next_command)) {
+      next_command_(std::move(next_command)),
+      metrics_{MetricsRegistry::global().counter("client.issued"),
+               MetricsRegistry::global().counter("client.completed"),
+               MetricsRegistry::global().counter("client.resends"),
+               MetricsRegistry::global().counter("client.duplicate_replies"),
+               MetricsRegistry::global().gauge("client.pipeline")} {
   endpoint_ = net_.add_endpoint(
       [this](NodeId from, MessagePtr m) { handle_message(from, std::move(m)); });
 }
 
 SmrClient::~SmrClient() {
+  // Deregister before touching any state: the transport guarantees no
+  // handle_message invocation is in flight once remove_endpoint returns, so
+  // a reply racing the destructor can no longer land on a dying object.
+  net_.remove_endpoint(endpoint_);
   {
     MutexLock lock(mu_);
     stopping_ = true;
     issuing_ = false;
   }
+  timer_cv_.notify_all();
   if (timer_.joinable()) timer_.join();
 }
 
@@ -58,6 +68,8 @@ void SmrClient::issue_one_locked() {
   c.client_seq = next_seq_++;
   const std::uint64_t now = now_ns();
   outstanding_[c.client_seq] = {c, now, now};
+  metrics_.issued.inc();
+  metrics_.pipeline.add(1);
   send_to_all_locked(c);
 }
 
@@ -71,10 +83,15 @@ void SmrClient::handle_message(NodeId /*from*/, const MessagePtr& m) {
   const auto& reply = message_as<ReplyMsg>(m);
   MutexLock lock(mu_);
   auto it = outstanding_.find(reply.client_seq);
-  if (it == outstanding_.end()) return;  // duplicate reply
+  if (it == outstanding_.end()) {
+    metrics_.duplicate_replies.inc();
+    return;  // completed already — another replica answered first
+  }
   latency_.record(now_ns() - it->second.issued_ns);
   outstanding_.erase(it);
   completed_.fetch_add(1, std::memory_order_relaxed);
+  metrics_.completed.inc();
+  metrics_.pipeline.sub(1);
   if (issuing_) {
     issue_one_locked();
   } else if (outstanding_.empty()) {
@@ -83,16 +100,18 @@ void SmrClient::handle_message(NodeId /*from*/, const MessagePtr& m) {
 }
 
 void SmrClient::timer_loop() {
-  while (true) {
-    std::this_thread::sleep_for(
-        std::chrono::milliseconds(config_.tick_interval_ms));
-    MutexLock lock(mu_);
+  MutexLock lock(mu_);
+  while (!stopping_) {
+    // Interruptible tick: the destructor sets stopping_ and notifies, so
+    // shutdown never waits out the remainder of a tick interval.
+    timer_cv_.wait_for(mu_, std::chrono::milliseconds(config_.tick_interval_ms));
     if (stopping_) return;
     const std::uint64_t now = now_ns();
     const std::uint64_t timeout_ns = config_.resend_timeout_ms * 1'000'000ull;
     for (auto& [seq, entry] : outstanding_) {
       if (now - entry.last_sent_ns >= timeout_ns) {
         entry.last_sent_ns = now;
+        metrics_.resends.inc();
         send_to_all_locked(entry.cmd);
       }
     }

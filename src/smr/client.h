@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "common/histogram.h"
+#include "common/metrics.h"
 #include "common/ranked_mutex.h"
 #include "common/thread_annotations.h"
 #include "cos/command.h"
@@ -78,10 +79,21 @@ class SmrClient {
   const std::function<Command()> next_command_;
   NodeId endpoint_ = -1;
 
+  struct Metrics {
+    Counter& issued;
+    Counter& completed;
+    Counter& resends;
+    Counter& duplicate_replies;
+    Gauge& pipeline;
+  };
+
   // mu_ is held across net_.send (the client rank is the outermost in the
   // lock hierarchy, above the transport rank).
   mutable RankedMutex<lock_rank::kSmrClient> mu_;
   CondVar drained_cv_;
+  // Wakes timer_loop between ticks; notified by the destructor so shutdown
+  // does not wait out a full tick interval.
+  CondVar timer_cv_;
   std::unordered_map<std::uint64_t, Outstanding> outstanding_
       PSMR_GUARDED_BY(mu_);  // by seq
   std::uint64_t next_seq_ PSMR_GUARDED_BY(mu_) = 1;
@@ -90,6 +102,7 @@ class SmrClient {
   Histogram latency_ PSMR_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> completed_{0};
+  Metrics metrics_;
   std::thread timer_;
 };
 

@@ -4,6 +4,7 @@
 #include <thread>
 
 #include "codec/codec.h"
+#include "common/stopwatch.h"
 
 namespace psmr {
 
@@ -15,7 +16,18 @@ constexpr std::uint64_t kReplyCacheWindow = 1024;
 
 Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
                  Config config)
-    : net_(net), index_(index), config_(config), service_(std::move(service)) {
+    : net_(net),
+      index_(index),
+      config_(config),
+      service_(std::move(service)),
+      metrics_{MetricsRegistry::global().counter("scheduler.batches"),
+               MetricsRegistry::global().counter("scheduler.batch_commands"),
+               MetricsRegistry::global().counter("scheduler.dedup_hits"),
+               MetricsRegistry::global().counter("replica.reply_cache_hits"),
+               MetricsRegistry::global().counter("worker.exec_ns"),
+               MetricsRegistry::global().counter("worker.stall_ns"),
+               MetricsRegistry::global().gauge("scheduler.queue_depth"),
+               MetricsRegistry::global().histogram("scheduler.batch_size")} {
   endpoint_ = net_.add_endpoint(
       [this](NodeId from, MessagePtr m) { handle_message(from, std::move(m)); });
   if (!config_.sequential) {
@@ -24,13 +36,20 @@ Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
   }
 }
 
-Replica::~Replica() { stop(); }
+Replica::~Replica() {
+  // Deregister first: once remove_endpoint returns, no handle_message can
+  // be running or start, so stop() tears down state no handler touches.
+  net_.remove_endpoint(endpoint_);
+  stop();
+}
 
 void Replica::connect(const std::vector<NodeId>& replica_endpoints) {
   broadcast_owner_ = std::make_unique<SequencedBroadcast>(
       net_, endpoint_, index_, replica_endpoints, config_.broadcast,
       [this](std::uint64_t seq, const std::vector<Command>& batch) {
-        delivered_.push({seq, batch, nullptr});
+        if (delivered_.push({seq, batch, nullptr})) {
+          metrics_.queue_depth.add(1);
+        }
       });
   // Lagging beyond the peers' log retention: ask the peer that showed us
   // the gap for a checkpoint.
@@ -71,6 +90,7 @@ void Replica::stop() {
   // queued; run them here so their waiters (e.g. a blocked state_digest)
   // unblock. All replica threads are joined, so this is race-free.
   while (auto leftover = delivered_.pop()) {
+    metrics_.queue_depth.sub(1);
     if (leftover->control) leftover->control();
   }
 }
@@ -89,16 +109,21 @@ void Replica::handle_message(NodeId from, const MessagePtr& m) {
       break;  // replicas do not consume replies
     case msg::kStateRequest:
       // Serve at the next quiescent point of the scheduler.
-      delivered_.push({0, {}, [this, from] { serve_state_request(from); }});
+      if (delivered_.push(
+              {0, {}, [this, from] { serve_state_request(from); }})) {
+        metrics_.queue_depth.add(1);
+      }
       break;
     case msg::kStateResponse: {
       auto keep_alive = m;  // control task outlives this handler frame
-      delivered_.push({0,
-                       {},
-                       [this, keep_alive] {
-                         apply_state_response(
-                             message_as<StateResponseMsg>(keep_alive));
-                       }});
+      if (delivered_.push({0,
+                           {},
+                           [this, keep_alive] {
+                             apply_state_response(
+                                 message_as<StateResponseMsg>(keep_alive));
+                           }})) {
+        metrics_.queue_depth.add(1);
+      }
       break;
     }
     default:
@@ -123,6 +148,7 @@ void Replica::on_request(NodeId from, const RequestMsg& m) {
         auto cached = it->second.replies.find(c.client_seq);
         if (cached != it->second.replies.end()) {
           const Response& r = cached->second;
+          metrics_.reply_cache_hits.inc();
           net_.send(endpoint_, from,
                     make_message<ReplyMsg>(r.client_seq, r.value, r.ok));
           continue;
@@ -137,12 +163,16 @@ void Replica::on_request(NodeId from, const RequestMsg& m) {
 
 void Replica::scheduler_loop() {
   while (auto delivery = delivered_.pop()) {
+    metrics_.queue_depth.sub(1);
     if (delivery->control) {
       wait_quiescent();
       delivery->control();
       continue;
     }
     last_processed_seq_ = delivery->seq;
+    metrics_.batches.inc();
+    metrics_.batch_commands.inc(delivery->batch.size());
+    metrics_.batch_size.record(delivery->batch.size());
     // At-most-once filtering (drop retransmissions / view-change
     // re-proposals), then hand the surviving commands to the COS as one
     // batch — the lock-free DAG inserts them in a single traversal.
@@ -152,7 +182,10 @@ void Replica::scheduler_loop() {
       MutexLock lock(clients_mu_);
       for (const Command& c : delivery->batch) {
         auto& state = clients_[c.client];
-        if (c.client != 0 && c.client_seq <= state.max_inserted_seq) continue;
+        if (c.client != 0 && c.client_seq <= state.max_inserted_seq) {
+          metrics_.dedup_hits.inc();
+          continue;
+        }
         state.max_inserted_seq = c.client_seq;
         fresh.push_back(c);
         fresh.back().id = next_command_id_++;
@@ -172,10 +205,21 @@ void Replica::scheduler_loop() {
 
 void Replica::worker_loop() {
   while (true) {
-    CosHandle h = cos_->get();
-    if (!h) return;  // closed
-    execute_and_reply(*h.cmd);
-    cos_->remove(h);
+    if constexpr (kMetricsEnabled) {
+      const std::uint64_t t0 = now_ns();
+      CosHandle h = cos_->get();
+      if (!h) return;  // closed
+      const std::uint64_t t1 = now_ns();
+      metrics_.worker_stall_ns.inc(t1 - t0);
+      execute_and_reply(*h.cmd);
+      metrics_.worker_exec_ns.inc(now_ns() - t1);
+      cos_->remove(h);
+    } else {
+      CosHandle h = cos_->get();
+      if (!h) return;  // closed
+      execute_and_reply(*h.cmd);
+      cos_->remove(h);
+    }
   }
 }
 
@@ -222,6 +266,7 @@ std::uint64_t Replica::state_digest() {
   auto result = sample->get_future();
   const bool queued = delivered_.push(
       {0, {}, [this, sample] { sample->set_value(service_->state_digest()); }});
+  if (queued) metrics_.queue_depth.add(1);
   if (!queued) {
     // Queue closed: the replica is stopped and all its threads are joined,
     // so a direct read cannot race.

@@ -26,6 +26,7 @@
 #include "app/service.h"
 #include "broadcast/sequenced_broadcast.h"
 #include "common/blocking_queue.h"
+#include "common/metrics.h"
 #include "common/ranked_mutex.h"
 #include "common/thread_annotations.h"
 #include "cos/factory.h"
@@ -94,6 +95,17 @@ class Replica {
     std::function<void()> control;
   };
 
+  struct Metrics {
+    Counter& batches;           // delivered batches scheduled
+    Counter& batch_commands;    // commands in those batches (pre-dedup)
+    Counter& dedup_hits;        // retransmissions dropped by at-most-once
+    Counter& reply_cache_hits;  // retransmissions answered from the cache
+    Counter& worker_exec_ns;    // total worker time executing commands
+    Counter& worker_stall_ns;   // total worker time blocked in cos->get()
+    Gauge& queue_depth;         // delivered_ hand-off queue occupancy
+    HistogramMetric& batch_size;
+  };
+
   void handle_message(NodeId from, const MessagePtr& m);
   void on_request(NodeId from, const RequestMsg& m);
   void scheduler_loop();
@@ -144,6 +156,7 @@ class Replica {
   std::uint64_t next_command_id_ = 1;      // scheduler thread only
   std::uint64_t last_processed_seq_ = 0;   // scheduler thread only
   std::atomic<std::uint64_t> state_transfers_{0};  // observability
+  Metrics metrics_;
 
  public:
   // Number of state-transfer checkpoints this replica installed.

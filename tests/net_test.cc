@@ -168,6 +168,57 @@ TEST(SimNetwork, LatencyIsApplied) {
   EXPECT_TRUE(received.load());
 }
 
+TEST(SimNetwork, CrashPurgesLinkStateAndInFlightMessages) {
+  // Regression test for unbounded last_delivery_ growth: long fault tests
+  // crash many endpoints, and the per-link FIFO map used to keep entries
+  // for dead links forever. crash() now purges them, and also drops the
+  // crashed destination's queued in-flight messages eagerly instead of at
+  // their (possibly far-future) delivery time.
+  SimNetwork::Config config;
+  config.base_latency_us = 500'000;  // 500 ms: messages stay queued
+  config.jitter_us = 0;
+  SimNetwork net(config);
+  std::atomic<int> count{0};
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  const NodeId b =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+  const NodeId c =
+      net.add_endpoint([&](NodeId, MessagePtr) { count.fetch_add(1); });
+
+  for (int i = 0; i < 10; ++i) net.send(a, b, make_message<IntMsg>(i));
+  net.send(a, c, make_message<IntMsg>(99));  // survivor traffic
+  EXPECT_EQ(net.in_flight(), 11u);
+  EXPECT_EQ(net.link_state_entries(), 2u);  // (a,b) and (a,c)
+
+  net.crash(b);
+  // Immediately — not 500 ms later — b's queued messages are dropped and
+  // its link state is gone; the a->c message is untouched.
+  EXPECT_EQ(net.in_flight(), 1u);
+  EXPECT_EQ(net.link_state_entries(), 1u);
+  EXPECT_GE(net.messages_dropped(), 10u);
+
+  for (int i = 0; i < 200 && count.load() == 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(count.load(), 1);  // only the survivor delivery happened
+}
+
+TEST(SimNetwork, RepeatedCrashesDoNotAccumulateLinkState) {
+  SimNetwork net(fast_config());
+  const NodeId a = net.add_endpoint([](NodeId, MessagePtr) {});
+  std::vector<NodeId> victims;
+  for (int i = 0; i < 8; ++i) {
+    victims.push_back(net.add_endpoint([](NodeId, MessagePtr) {}));
+  }
+  for (NodeId v : victims) {
+    net.send(a, v, make_message<IntMsg>(1));
+    net.crash(v);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(net.link_state_entries(), 0u);
+  EXPECT_EQ(net.in_flight(), 0u);
+}
+
 TEST(SimNetwork, ShutdownIsIdempotentAndStopsDelivery) {
   SimNetwork net(fast_config());
   std::atomic<int> count{0};

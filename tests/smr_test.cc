@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <memory>
 #include <thread>
 
 #include "app/bank_service.h"
 #include "app/kv_service.h"
 #include "app/linked_list_service.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "smr/deployment.h"
 #include "workload/generator.h"
 
@@ -317,6 +319,85 @@ TEST(SmrStateTransfer, PartitionedReplicaCatchesUpViaCheckpoint) {
   }
   EXPECT_TRUE(converged) << "lagging replica did not converge after "
                             "state transfer";
+  deployment.stop();
+}
+
+TEST(SmrClientTeardown, DestroyWithRepliesInFlightIsSafe) {
+  // Regression test for a teardown race: destroying a client while replies
+  // are still in flight used to leave its transport handler registered, so
+  // a reply delivered mid-destruction ran handle_message on a dying object
+  // (use-after-free, caught by ASan/TSan pre-fix). The destructor now
+  // deregisters the endpoint first; the transport guarantees no handler is
+  // running or will run once remove_endpoint returns.
+  //
+  // The network is deliberately slow: with a multi-ms one-way latency,
+  // replies to the 8 pipelined commands keep arriving for milliseconds
+  // after the destructor returns, so a still-registered handler would run
+  // on freed memory.
+  Deployment::Config config = make_config(false, CosKind::kLockFree, 4);
+  config.net.base_latency_us = 3000;
+  config.net.jitter_us = 2000;
+  Deployment deployment(config,
+                        [] { return std::make_unique<KvService>(); });
+  deployment.start();
+
+  KvService builder;
+  for (int round = 0; round < 5; ++round) {
+    std::atomic<std::uint64_t> next{0};
+    SmrClient::Config client_config;
+    client_config.pipeline = 8;          // keep many replies in flight
+    client_config.tick_interval_ms = 1;  // dtor joins the timer quickly
+    std::vector<NodeId> replicas;
+    for (int i = 0; i < deployment.replica_count(); ++i) {
+      replicas.push_back(deployment.replica(i).endpoint());
+    }
+    auto client = std::make_unique<SmrClient>(
+        deployment.net(), replicas, client_config,
+        [&] { return builder.make_put(next.fetch_add(1) % 32, 1); });
+    client->start();
+    // Destroy mid-traffic — no stop(), no drain(): with 3 replicas each
+    // answering 8 pipelined commands there are always replies in flight.
+    for (int t = 0; t < 1000 && client->completed() < 20; ++t) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    ASSERT_GE(client->completed(), 20u);
+    client.reset();
+  }
+  deployment.stop();
+}
+
+TEST(SmrClientTeardown, DestructorDoesNotWaitOutTimerTick) {
+  // Regression test for shutdown latency: the timer thread used to sleep
+  // for a full tick_interval_ms between resend scans, so the destructor
+  // blocked on join() for up to one tick. It now waits on a condition
+  // variable the destructor signals.
+  Deployment deployment(make_config(false, CosKind::kLockFree, 2),
+                        [] { return std::make_unique<KvService>(); });
+  deployment.start();
+
+  KvService builder;
+  std::atomic<std::uint64_t> next{0};
+  SmrClient::Config client_config;
+  client_config.pipeline = 2;
+  client_config.tick_interval_ms = 3000;  // pre-fix: dtor stalls ~3 s
+  std::vector<NodeId> replicas;
+  for (int i = 0; i < deployment.replica_count(); ++i) {
+    replicas.push_back(deployment.replica(i).endpoint());
+  }
+  auto client = std::make_unique<SmrClient>(
+      deployment.net(), replicas, client_config,
+      [&] { return builder.make_put(next.fetch_add(1) % 32, 1); });
+  client->start();
+  for (int t = 0; t < 1000 && client->completed() < 5; ++t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_GE(client->completed(), 5u);
+
+  const std::uint64_t start_ns = now_ns();
+  client.reset();
+  const std::uint64_t elapsed_ms = (now_ns() - start_ns) / 1'000'000ull;
+  EXPECT_LT(elapsed_ms, 1000u)
+      << "client destructor waited out the timer tick";
   deployment.stop();
 }
 

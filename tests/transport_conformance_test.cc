@@ -290,6 +290,62 @@ TEST_P(TransportConformanceTest, SendAfterPeerCrashDoesNotWedgeSender) {
   EXPECT_TRUE(wait_until([&] { return sink.count.load() == 10; }));
 }
 
+TEST_P(TransportConformanceTest, RemoveEndpointStopsHandlerInvocations) {
+  Inbox sink;
+  std::vector<Transport::Handler> handlers;
+  handlers.push_back(null_handler());
+  handlers.push_back(sink.handler());
+  auto fabric = make_fabric(std::move(handlers));
+
+  // Prove delivery works, then deregister the receiver under load.
+  fabric->node(0).send(0, 1, tagged(0, 0));
+  ASSERT_TRUE(wait_until([&] { return sink.count.load() >= 1; }));
+
+  std::atomic<bool> stop_flood{false};
+  std::thread flooder([&] {
+    std::uint64_t seq = 1;
+    while (!stop_flood.load()) {
+      fabric->node(0).send(0, 1, tagged(seq++, 0));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  fabric->node(1).remove_endpoint(1);
+  // The contract: once remove_endpoint returns, no handler invocation is
+  // running or will ever start, even with a sender still flooding.
+  const std::uint64_t at_removal = sink.count.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(sink.count.load(), at_removal)
+      << "handler ran after remove_endpoint returned";
+  stop_flood.store(true);
+  flooder.join();
+}
+
+TEST_P(TransportConformanceTest, RemoveEndpointIsIdempotentAndIgnoresUnknownIds) {
+  Inbox sink;
+  std::vector<Transport::Handler> handlers;
+  handlers.push_back(null_handler());
+  handlers.push_back(null_handler());
+  handlers.push_back(sink.handler());
+  auto fabric = make_fabric(std::move(handlers));
+
+  fabric->node(1).remove_endpoint(1);
+  fabric->node(1).remove_endpoint(1);   // second removal: no-op
+  fabric->node(1).remove_endpoint(99);  // not hosted anywhere: ignored
+  fabric->node(1).remove_endpoint(-1);
+
+  // Sends to the removed endpoint are dropped without wedging the sender...
+  const std::uint64_t start_ns = now_ns();
+  for (std::uint64_t i = 0; i < 200; ++i) {
+    fabric->node(0).send(0, 1, tagged(i, 0));
+  }
+  EXPECT_LT((now_ns() - start_ns) / 1'000'000ull, 2000u);
+  // ...and the rest of the fabric still delivers.
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    fabric->node(0).send(0, 2, tagged(i, 0));
+  }
+  EXPECT_TRUE(wait_until([&] { return sink.count.load() == 10; }));
+}
+
 INSTANTIATE_TEST_SUITE_P(AllTransports, TransportConformanceTest,
                          ::testing::Values(FabricKind::kSim,
                                            FabricKind::kTcp),

@@ -21,6 +21,13 @@
 // exiting nonzero if any command never completed. The multi-process smoke
 // test (tests/multiprocess_smoke_test.cc) forks this binary and asserts
 // the replica digests match.
+//
+// With --metrics-dump-ms=N (> 0) the process also emits a
+// MetricsRegistry::snapshot() every N ms to stderr, one line per dump,
+// prefixed "METRICS " (JSON by default; --metrics-format=prom switches to
+// Prometheus exposition text, where the prefix is omitted and the dump is
+// multi-line). A final dump is always emitted at shutdown.
+#include <atomic>
 #include <csignal>
 #include <cstdint>
 #include <cstdio>
@@ -35,6 +42,7 @@
 #include "app/bank_service.h"
 #include "app/kv_service.h"
 #include "app/linked_list_service.h"
+#include "common/metrics.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "cos/factory.h"
@@ -63,6 +71,55 @@ struct Options {
   std::uint64_t keys = 1024;      // key/account/value space
   std::uint64_t shards = 64;      // kv shard count (must match cluster-wide)
   std::uint64_t seed = 1;
+  std::uint64_t metrics_dump_ms = 0;   // 0 = off
+  std::string metrics_format = "json";  // or "prom"
+};
+
+// Periodically dumps the global metrics registry to stderr. stderr, not
+// stdout: the one machine-parseable result line must stay alone on stdout.
+class MetricsDumper {
+ public:
+  MetricsDumper(std::uint64_t interval_ms, bool prometheus)
+      : interval_ms_(interval_ms), prometheus_(prometheus) {
+    if (interval_ms_ == 0) return;
+    thread_ = std::thread([this] { loop(); });
+  }
+
+  ~MetricsDumper() { stop(); }
+
+  void stop() {  // idempotent: the destructor calls it too
+    if (interval_ms_ == 0) return;
+    if (stop_.exchange(true, std::memory_order_relaxed)) return;
+    if (thread_.joinable()) thread_.join();
+    dump();  // final snapshot so short runs still produce one
+  }
+
+  void dump() const {
+    const psmr::MetricsSnapshot snap = psmr::MetricsRegistry::global().snapshot();
+    if (prometheus_) {
+      std::fprintf(stderr, "%s", snap.to_prometheus().c_str());
+    } else {
+      std::fprintf(stderr, "METRICS %s\n", snap.to_json().c_str());
+    }
+    std::fflush(stderr);
+  }
+
+ private:
+  void loop() {
+    std::uint64_t next = psmr::now_ns() + interval_ms_ * 1'000'000ull;
+    while (!stop_.load(std::memory_order_relaxed)) {
+      // Poll in short slices so stop() is prompt even for long intervals.
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+      if (psmr::now_ns() < next) continue;
+      dump();
+      next = psmr::now_ns() + interval_ms_ * 1'000'000ull;
+    }
+  }
+
+  const std::uint64_t interval_ms_;
+  const bool prometheus_;
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
 };
 
 std::vector<std::string> split_csv(const std::string& s) {
@@ -120,6 +177,10 @@ bool parse_args(int argc, char** argv, Options* opt) {
       opt->shards = std::strtoull(v, nullptr, 10);
     } else if (const char* v = value("--seed")) {
       opt->seed = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--metrics-dump-ms")) {
+      opt->metrics_dump_ms = std::strtoull(v, nullptr, 10);
+    } else if (const char* v = value("--metrics-format")) {
+      opt->metrics_format = v;
     } else {
       std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
       return false;
@@ -131,6 +192,10 @@ bool parse_args(int argc, char** argv, Options* opt) {
   }
   if (opt->id < 0 || opt->peers.empty()) {
     std::fprintf(stderr, "--id and --peers are required\n");
+    return false;
+  }
+  if (opt->metrics_format != "json" && opt->metrics_format != "prom") {
+    std::fprintf(stderr, "--metrics-format must be json or prom\n");
     return false;
   }
   return true;
@@ -232,6 +297,7 @@ int run_replica(const Options& opt) {
   for (int i = 0; i < n; ++i) endpoints.push_back(i);
   replica.connect(endpoints);
   replica.start();
+  MetricsDumper dumper(opt.metrics_dump_ms, opt.metrics_format == "prom");
 
   const std::uint64_t deadline_ns =
       psmr::now_ns() + opt.run_ms * 1'000'000ull;
@@ -258,6 +324,7 @@ int run_replica(const Options& opt) {
 
   transport.shutdown();  // freeze inputs, then join replica threads
   replica.stop();
+  dumper.stop();  // final metrics dump covers the whole run
   std::printf("replica id=%d executed=%llu digest=0x%016llx view=%llu "
               "state_transfers=%llu\n",
               opt.id,
@@ -288,6 +355,7 @@ int run_client(const Options& opt) {
     return 2;
   }
   client.start();
+  MetricsDumper dumper(opt.metrics_dump_ms, opt.metrics_format == "prom");
 
   const std::uint64_t deadline_ns =
       psmr::now_ns() + opt.run_ms * 1'000'000ull;
@@ -296,6 +364,7 @@ int run_client(const Options& opt) {
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   }
   client.stop();
+  dumper.stop();
   const bool drained = client.drain(3000);
   const std::uint64_t completed = client.completed();
   const std::uint64_t errors = completed >= opt.ops ? 0 : opt.ops - completed;
