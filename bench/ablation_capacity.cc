@@ -30,8 +30,8 @@ int main(int argc, char** argv) {
          {psmr::CosKind::kCoarseGrained, psmr::CosKind::kFineGrained,
           psmr::CosKind::kLockFree}) {
       psmr::DsDriverConfig config;
-      config.kind = kind;
-      config.graph_size = capacity;
+      config.cos.kind = kind;
+      config.cos.capacity = capacity;
       config.cost = psmr::ExecCost::kLight;
       config.write_pct = 10.0;
       config.workers = 4;

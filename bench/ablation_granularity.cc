@@ -19,7 +19,7 @@
 #include "bench_util.h"
 #include "common/padded.h"
 #include "common/stopwatch.h"
-#include "cos/striped.h"
+#include "cos/factory.h"
 #include "workload/ds_driver.h"
 #include "workload/generator.h"
 
@@ -31,7 +31,13 @@ double run_striped(std::size_t width, int workers, double write_pct,
                    psmr::ExecCost cost, std::uint64_t measure_ms) {
   const std::size_t list_size = psmr::exec_cost_list_size(cost);
   psmr::LinkedListService service(list_size);
-  psmr::StripedCos cos(psmr::kPaperGraphSize, service.conflict(), width);
+  // The segment-width knob is reachable through CosOptions now — exercise
+  // the factory path rather than constructing StripedCos by hand.
+  auto cos_ptr = psmr::make_cos({.kind = psmr::CosKind::kStriped,
+                                 .capacity = psmr::kPaperGraphSize,
+                                 .conflict = service.conflict(),
+                                 .segment_width = width});
+  psmr::Cos& cos = *cos_ptr;
   auto commands = psmr::make_list_workload(1 << 15, write_pct, list_size, 7);
 
   std::atomic<bool> stop{false};
@@ -98,7 +104,7 @@ int main(int argc, char** argv) {
        {psmr::CosKind::kFineGrained, psmr::CosKind::kCoarseGrained,
         psmr::CosKind::kLockFree}) {
     psmr::DsDriverConfig config;
-    config.kind = kind;
+    config.cos.kind = kind;
     config.cost = cost;
     config.write_pct = write_pct;
     config.workers = workers;

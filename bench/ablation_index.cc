@@ -39,7 +39,10 @@ constexpr double kWritePct = 20.0;
 // has a source, and with one thread every ready permit is still pending.
 double measure_insert_mops(CosKind kind, bool indexed, std::size_t window,
                            const std::vector<Command>& workload) {
-  auto cos = psmr::make_cos(kind, window, psmr::keyset_rw_conflict, indexed);
+  auto cos = psmr::make_cos({.kind = kind,
+                             .capacity = window,
+                             .conflict = psmr::keyset_rw_conflict,
+                             .indexed = indexed});
   double insert_seconds = 0.0;
   std::size_t done = 0;
   while (done + window <= workload.size()) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "tools/options.h"
 
 namespace psmr::bench {
 
@@ -39,27 +40,22 @@ struct Options {
   std::string compare_path;
 };
 
+// Built on the shared tools::FlagSet registry so the harnesses reject
+// unknown flags exactly like psmr_node does (message + exit code 2).
 inline Options parse_options(int argc, char** argv) {
   Options options;
-  for (int i = 1; i < argc; ++i) {
-    const std::string_view arg = argv[i];
-    if (arg == "--mode=real") {
-      options.run_sim = false;
-    } else if (arg == "--mode=sim") {
-      options.run_real = false;
-    } else if (arg == "--mode=both") {
-      options.run_real = options.run_sim = true;
-    } else if (arg == "--quick") {
-      options.quick = true;
-    } else if (arg.rfind("--json=", 0) == 0) {
-      options.json_path = std::string(arg.substr(7));
-    } else if (arg.rfind("--compare=", 0) == 0) {
-      options.compare_path = std::string(arg.substr(10));
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", std::string(arg).c_str());
-      std::exit(2);
-    }
-  }
+  tools::FlagSet flags;
+  flags.add_value("--mode", [&options](const char* v) {
+    const std::string_view mode = v;
+    if (mode != "real" && mode != "sim" && mode != "both") return false;
+    options.run_real = mode != "sim";
+    options.run_sim = mode != "real";
+    return true;
+  });
+  flags.add_flag("--quick", &options.quick);
+  flags.add_string("--json", &options.json_path);
+  flags.add_string("--compare", &options.compare_path);
+  if (!flags.parse(argc, argv)) std::exit(2);
   return options;
 }
 

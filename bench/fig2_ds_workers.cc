@@ -40,7 +40,7 @@ void run_real(const psmr::bench::Options& options) {
       std::printf("%8d", w);
       for (CosKind kind : kKinds) {
         psmr::DsDriverConfig config;
-        config.kind = kind;
+        config.cos.kind = kind;
         config.cost = cost;
         config.workers = w;
         config.write_pct = 0.0;

@@ -53,7 +53,7 @@ int find_best_workers_real(CosKind kind, ExecCost cost, bool quick) {
   double best_throughput = -1;
   for (int w : {1, 2, 4, 8, 16}) {
     psmr::DsDriverConfig config;
-    config.kind = kind;
+    config.cos.kind = kind;
     config.cost = cost;
     config.workers = w;
     config.write_pct = 0.0;
@@ -85,7 +85,7 @@ void run_real(const psmr::bench::Options& options) {
       std::printf("%8g", pct);
       for (int k = 0; k < 3; ++k) {
         psmr::DsDriverConfig config;
-        config.kind = kKinds[k];
+        config.cos.kind = kKinds[k];
         config.cost = cost;
         config.workers = best[k];
         config.write_pct = pct;

@@ -34,7 +34,7 @@ void run_real(const psmr::bench::Options& options) {
         (std::string("real, ") + psmr::exec_cost_name(cost)).c_str());
 
     psmr::SmrDriverConfig sequential;
-    sequential.sequential = true;
+    sequential.policy = psmr::SchedulerPolicy::kSequential;
     sequential.cost = cost;
     sequential.clients = 8;
     sequential.pipeline = 8;
@@ -50,11 +50,12 @@ void run_real(const psmr::bench::Options& options) {
 
     std::printf("%8s %18s %18s %18s\n", "workers", "coarse-grained",
                 "fine-grained", "lock-free");
+    std::vector<std::pair<int, double>> lock_free_points;
     for (int w : workers) {
       std::printf("%8d", w);
       for (CosKind kind : kKinds) {
         psmr::SmrDriverConfig config;
-        config.kind = kind;
+        config.cos.kind = kind;
         config.cost = cost;
         config.workers = w;
         config.clients = 8;
@@ -67,8 +68,22 @@ void run_real(const psmr::bench::Options& options) {
                                    "/" + psmr::exec_cost_name(cost);
         psmr::bench::csv_row("fig4", "real", series.c_str(), w,
                              result.throughput_kops);
+        if (kind == CosKind::kLockFree) {
+          lock_free_points.emplace_back(w, result.throughput_kops);
+        }
       }
       std::printf("\n");
+    }
+    // Machine-portable ratios for the committed end-to-end baseline
+    // (BENCH_smr.json): parallel lock-free vs the sequential baseline.
+    // Only "speedup/" series participate in the --compare gate.
+    if (seq_result.throughput_kops > 0) {
+      for (const auto& [w, kops] : lock_free_points) {
+        const std::string series =
+            std::string("speedup/lock-free/") + psmr::exec_cost_name(cost);
+        psmr::bench::csv_row("fig4", "real", series.c_str(), w,
+                             kops / seq_result.throughput_kops);
+      }
     }
   }
 }
@@ -130,5 +145,9 @@ int main(int argc, char** argv) {
   if (options.run_real) run_real(options);
   if (options.run_sim) run_sim(options);
   psmr::bench::csv_flush();
-  return 0;
+  if (!psmr::bench::json_flush(options)) return 1;
+  // Gate the end-to-end SMR ratios against the committed BENCH_smr.json
+  // baseline (per-point minimum over repeated runs).
+  const int regressions = psmr::bench::run_compare("fig4", options);
+  return regressions == 0 ? 0 : 1;
 }

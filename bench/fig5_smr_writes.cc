@@ -58,7 +58,7 @@ void run_real(const psmr::bench::Options& options) {
       std::printf("%8g", pct);
       for (CosKind kind : kKinds) {
         psmr::SmrDriverConfig config;
-        config.kind = kind;
+        config.cos.kind = kind;
         config.cost = cost;
         config.workers = 4;  // representative on this host
         config.write_pct = pct;
@@ -74,7 +74,7 @@ void run_real(const psmr::bench::Options& options) {
                              result.throughput_kops);
       }
       psmr::SmrDriverConfig sequential;
-      sequential.sequential = true;
+      sequential.policy = psmr::SchedulerPolicy::kSequential;
       sequential.cost = cost;
       sequential.write_pct = pct;
       sequential.clients = 8;

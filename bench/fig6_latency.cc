@@ -48,8 +48,9 @@ void run_real(const psmr::bench::Options& options, double write_pct) {
   for (const System& system : kSystems) {
     for (int c : clients) {
       psmr::SmrDriverConfig config;
-      config.sequential = system.sequential;
-      config.kind = system.kind;
+      config.policy = system.sequential ? psmr::SchedulerPolicy::kSequential
+                                        : psmr::SchedulerPolicy::kCosDag;
+      config.cos.kind = system.kind;
       config.workers = system.workers_real;
       config.cost = ExecCost::kModerate;
       config.write_pct = write_pct;

@@ -39,7 +39,9 @@ Command read_cmd(std::uint64_t id) {
 void BM_CosCycle(benchmark::State& state) {
   const auto kind = static_cast<CosKind>(state.range(0));
   const auto population = static_cast<std::size_t>(state.range(1));
-  auto cos = psmr::make_cos(kind, population + 8, psmr::rw_conflict);
+  auto cos = psmr::make_cos({.kind = kind,
+                             .capacity = population + 8,
+                             .conflict = psmr::rw_conflict});
 
   std::uint64_t next_id = 1;
   std::vector<CosHandle> held;
@@ -63,7 +65,8 @@ void BM_CosInsertOnly(benchmark::State& state) {
   const auto kind = static_cast<CosKind>(state.range(0));
   // Large graph so inserts never block; a worker drains implicitly by
   // get+remove every iteration to keep the population constant at ~1.
-  auto cos = psmr::make_cos(kind, 1 << 16, psmr::rw_conflict);
+  auto cos = psmr::make_cos(
+      {.kind = kind, .capacity = 1 << 16, .conflict = psmr::rw_conflict});
   std::uint64_t next_id = 1;
   for (auto _ : state) {
     cos->insert(read_cmd(next_id++));
@@ -89,7 +92,10 @@ void BM_CosInsertKeyed(benchmark::State& state) {
       service, window, /*write_pct=*/20.0, kKeySpace, /*seed=*/42);
   for (std::size_t i = 0; i < workload.size(); ++i) workload[i].id = i + 1;
 
-  auto cos = psmr::make_cos(kind, window, psmr::keyset_rw_conflict, indexed);
+  auto cos = psmr::make_cos({.kind = kind,
+                             .capacity = window,
+                             .conflict = psmr::keyset_rw_conflict,
+                             .indexed = indexed});
   for (auto _ : state) {
     for (const Command& c : workload) cos->insert(c);
     state.PauseTiming();

@@ -27,7 +27,7 @@ int main() {
   config.replicas = 3;
   config.net.base_latency_us = 50;
   config.net.jitter_us = 30;
-  config.replica.cos_kind = psmr::CosKind::kLockFree;
+  config.replica.cos.kind = psmr::CosKind::kLockFree;
   config.replica.workers = 4;
 
   psmr::Deployment deployment(config, [] {

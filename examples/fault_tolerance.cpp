@@ -33,7 +33,7 @@ int main() {
   config.replicas = 3;
   config.net.base_latency_us = 50;
   config.net.jitter_us = 30;
-  config.replica.cos_kind = psmr::CosKind::kLockFree;
+  config.replica.cos.kind = psmr::CosKind::kLockFree;
   config.replica.workers = 4;
   config.replica.broadcast.heartbeat_interval_ms = 10;
   config.replica.broadcast.leader_timeout_ms = 200;

@@ -24,7 +24,9 @@ int main() {
   LinkedListService list(/*initial_size=*/1000);
 
   // The paper's graph size: at most 150 pending commands.
-  auto cos = psmr::make_cos(psmr::CosKind::kLockFree, 150, list.conflict());
+  auto cos = psmr::make_cos({.kind = psmr::CosKind::kLockFree,
+                             .capacity = 150,
+                             .conflict = list.conflict()});
 
   constexpr int kCommands = 100000;
   constexpr int kWorkers = 4;

@@ -24,7 +24,7 @@ int main() {
   config.replicas = 3;
   config.net.base_latency_us = 50;  // LAN-ish
   config.net.jitter_us = 30;
-  config.replica.cos_kind = psmr::CosKind::kLockFree;
+  config.replica.cos.kind = psmr::CosKind::kLockFree;
   config.replica.workers = 4;
   config.replica.broadcast.batch_max = 64;
   config.replica.broadcast.batch_timeout_us = 300;

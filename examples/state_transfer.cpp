@@ -22,7 +22,7 @@ int main() {
   config.replicas = 3;
   config.net.base_latency_us = 40;
   config.net.jitter_us = 20;
-  config.replica.cos_kind = psmr::CosKind::kLockFree;
+  config.replica.cos.kind = psmr::CosKind::kLockFree;
   config.replica.workers = 2;
   config.replica.broadcast.retained_slots = 32;  // small, to demo quickly
   config.replica.broadcast.batch_max = 8;

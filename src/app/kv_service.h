@@ -28,6 +28,8 @@ class KvService final : public Service {
 
   Response execute(const Command& c) override;
   ConflictFn conflict() const override { return keyset_rw_conflict; }
+  // Early scheduling: one class per shard group (shard id mod workers).
+  ClassMapFn class_map() const override { return keyed_class_map; }
   std::uint64_t state_digest() const override;
   std::vector<std::uint8_t> snapshot() const override;
   bool restore(std::span<const std::uint8_t> bytes) override;

@@ -51,6 +51,8 @@ class LinkedListService final : public Service {
 
   Response execute(const Command& c) override;
   ConflictFn conflict() const override { return rw_conflict; }
+  // Early scheduling: reads spread round-robin; every write is a barrier.
+  ClassMapFn class_map() const override { return rw_class_map; }
   std::uint64_t state_digest() const override;
   std::vector<std::uint8_t> snapshot() const override;
   bool restore(std::span<const std::uint8_t> bytes) override;

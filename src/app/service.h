@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "cos/class_map.h"
 #include "cos/command.h"
 #include "cos/conflict.h"
 
@@ -36,6 +37,13 @@ class Service {
 
   // The conflict relation under which execute() is safe.
   virtual ConflictFn conflict() const = 0;
+
+  // Optional static class map for the early-scheduling policy
+  // (cos/class_map.h). Must be sound for conflict(): conflicting commands
+  // either map to the same worker or at least one is routed kSync.
+  // nullptr (the default) sends every command through the barrier path —
+  // always correct, never fast.
+  virtual ClassMapFn class_map() const { return nullptr; }
 
   // Order-independent digest of the current state; used to check that
   // replicas converged. Must only be called when no execute() is running.

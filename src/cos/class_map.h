@@ -1,0 +1,75 @@
+// Static command classes for early scheduling (arXiv 1805.05152).
+//
+// Early scheduling decides class-to-worker assignment at ordering time:
+// each service derives, from its conflict relation, a *class map* that
+// routes a command either to one worker's private queue (single-class) or
+// through a synchronization barrier (cross-class / unclassifiable). The
+// map must be *sound* with respect to the service's conflict relation:
+//
+//   if a # b, then route(a) and route(b) either name the same worker or at
+//   least one of them is kSync.
+//
+// Under that contract the early scheduler preserves conflict order: same-
+// worker commands execute in delivery order (FIFO queue), and a kSync
+// command is ordered against *every* in-flight command by the barrier.
+// Commands the map cannot classify are simply routed kSync — the COS DAG
+// is the fallback for them, so a map may always answer kSync and remain
+// correct (that is also the behaviour when a service provides no map).
+//
+// Determinism across replicas: the map is a pure function of the command
+// and the worker count, and command ids are stamped in delivery order, so
+// all replicas with equal worker counts route identically. Replicas with
+// *different* worker counts still converge — conflicting commands are
+// serialized in delivery order by the contract above regardless of which
+// worker executes them, and independent commands commute by definition.
+#pragma once
+
+#include <cstdint>
+
+#include "cos/command.h"
+
+namespace psmr {
+
+struct ClassRoute {
+  enum Kind : std::uint8_t {
+    kWorker,  // single-class: execute on `worker`'s private queue
+    kSync,    // cross-class or unclassifiable: barrier + COS DAG fallback
+  };
+  Kind kind = kSync;
+  std::uint32_t worker = 0;  // meaningful only when kind == kWorker
+};
+
+// A class map: pure function of (command, worker count). `workers` is >= 1.
+using ClassMapFn = ClassRoute (*)(const Command& c, std::uint32_t workers);
+
+// Per-key/per-partition classes for keyset relations (KV, bank): the class
+// of key k is k mod workers. A command whose conflict keys all fall in one
+// class is routed to that class's worker; commands spanning classes (e.g.
+// cross-partition transfers) or naming no keys are kSync. Sound for
+// keyset_rw_conflict: a # b requires a shared key, and a shared key lands
+// both commands in the same class unless one of them spans classes (kSync).
+// Conservative by design — two reads of the same class serialize even
+// though they do not conflict; that is the concurrency early scheduling
+// trades for skipping the DAG.
+inline ClassRoute keyed_class_map(const Command& c, std::uint32_t workers) {
+  if (c.nkeys == 0) return {};
+  const std::uint32_t cls =
+      static_cast<std::uint32_t>(c.keys[0] % workers);
+  for (std::uint8_t i = 1; i < c.nkeys; ++i) {
+    if (static_cast<std::uint32_t>(c.keys[i] % workers) != cls) return {};
+  }
+  return {ClassRoute::kWorker, cls};
+}
+
+// Reader/writer classes for the single-shared-variable relation
+// (rw_conflict, the paper's linked list): writes conflict with everything
+// and pay the barrier; reads conflict with nothing but writes, so they
+// spread round-robin over the workers by delivery order (ids are stamped
+// identically at every replica). Sound for rw_conflict: a # b implies one
+// of them writes, and every write is kSync.
+inline ClassRoute rw_class_map(const Command& c, std::uint32_t workers) {
+  if (is_write(c)) return {};
+  return {ClassRoute::kWorker, static_cast<std::uint32_t>(c.id % workers)};
+}
+
+}  // namespace psmr

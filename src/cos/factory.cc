@@ -1,5 +1,7 @@
 #include "cos/factory.h"
 
+#include <cstdlib>
+
 #include "cos/coarse_grained.h"
 #include "cos/fine_grained.h"
 #include "cos/lock_free.h"
@@ -7,21 +9,33 @@
 
 namespace psmr {
 
+std::unique_ptr<Cos> make_cos(const CosOptions& options) {
+  switch (options.kind) {
+    case CosKind::kCoarseGrained:
+      return std::make_unique<CoarseGrainedCos>(options.capacity,
+                                                options.conflict,
+                                                options.indexed);
+    case CosKind::kFineGrained:
+      return std::make_unique<FineGrainedCos>(options.capacity,
+                                              options.conflict,
+                                              options.indexed);
+    case CosKind::kLockFree:
+      return std::make_unique<LockFreeCos>(options.capacity, options.conflict,
+                                           options.reclaim, options.indexed);
+    case CosKind::kStriped:
+      return std::make_unique<StripedCos>(options.capacity, options.conflict,
+                                          options.segment_width,
+                                          options.indexed);
+  }
+  std::abort();  // unreachable: the switch above is exhaustive over CosKind
+}
+
 std::unique_ptr<Cos> make_cos(CosKind kind, std::size_t max_size,
                               ConflictFn conflict, bool indexed) {
-  switch (kind) {
-    case CosKind::kCoarseGrained:
-      return std::make_unique<CoarseGrainedCos>(max_size, conflict, indexed);
-    case CosKind::kFineGrained:
-      return std::make_unique<FineGrainedCos>(max_size, conflict, indexed);
-    case CosKind::kLockFree:
-      return std::make_unique<LockFreeCos>(max_size, conflict,
-                                           LockFreeReclaim::kEpoch, indexed);
-    case CosKind::kStriped:
-      return std::make_unique<StripedCos>(max_size, conflict,
-                                          /*segment_width=*/16, indexed);
-  }
-  return nullptr;
+  return make_cos(CosOptions{.kind = kind,
+                             .capacity = max_size,
+                             .conflict = conflict,
+                             .indexed = indexed});
 }
 
 bool parse_cos_kind(std::string_view name, CosKind* out) {
@@ -49,6 +63,31 @@ const char* cos_kind_name(CosKind kind) {
       return "lock-free";
     case CosKind::kStriped:
       return "striped";
+  }
+  return "?";
+}
+
+bool parse_scheduler_policy(std::string_view name, SchedulerPolicy* out) {
+  if (name == "cos-dag" || name == "dag") {
+    *out = SchedulerPolicy::kCosDag;
+  } else if (name == "early" || name == "early-scheduling") {
+    *out = SchedulerPolicy::kEarlyScheduling;
+  } else if (name == "sequential" || name == "seq") {
+    *out = SchedulerPolicy::kSequential;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* scheduler_policy_name(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kCosDag:
+      return "cos-dag";
+    case SchedulerPolicy::kEarlyScheduling:
+      return "early";
+    case SchedulerPolicy::kSequential:
+      return "sequential";
   }
   return "?";
 }

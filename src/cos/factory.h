@@ -1,11 +1,14 @@
 // Construction of COS implementations by name/enum — used by the drivers,
-// benchmarks and examples to sweep all three techniques uniformly.
+// benchmarks and examples to sweep all techniques uniformly — plus the
+// scheduler-policy enum that selects how a replica turns delivery order
+// into execution order.
 #pragma once
 
 #include <memory>
 #include <string_view>
 
 #include "cos/cos.h"
+#include "cos/reclaim.h"
 
 namespace psmr {
 
@@ -16,19 +19,59 @@ enum class CosKind {
   kStriped,        // extension: segment locks (§7.3.2's granularity remark)
 };
 
+// How a replica maps delivery order to execution order.
+enum class SchedulerPolicy {
+  kCosDag,          // parallel SMR: every command goes through the COS DAG
+  kEarlyScheduling, // class-routed per-worker queues; DAG only for barriers
+  kSequential,      // classical SMR: the scheduler executes everything
+};
+
 // The paper fixes the dependency graph at 150 node slots for all techniques.
 inline constexpr std::size_t kPaperGraphSize = 150;
 
-// `indexed` enables the key-indexed dependency tracker (dep_tracker.h) for
-// per-key-decomposable relations; opaque relations fall back to the
-// pairwise insert scan regardless, so leaving it on is always safe.
+// Construction parameters for make_cos(). Aggregate — override fields with
+// designated initializers, e.g.
+//   make_cos({.kind = CosKind::kStriped, .conflict = fn, .segment_width = 8})
+struct CosOptions {
+  // Which implementation to build.
+  CosKind kind = CosKind::kLockFree;
+  // Maximum number of commands held (the paper's graph size; semaphore
+  // `space` bound).
+  std::size_t capacity = kPaperGraphSize;
+  // The service's conflict relation (#C). Required.
+  ConflictFn conflict = nullptr;
+  // Enables the key-indexed dependency tracker (dep_tracker.h) for
+  // per-key-decomposable relations; opaque relations fall back to the
+  // pairwise insert scan regardless, so leaving it on is always safe.
+  bool indexed = true;
+  // Lock-free DAG only: node-reclamation policy (epoch-based vs. leak-until-
+  // destruction, the reclamation ablation's knob).
+  LockFreeReclaim reclaim = LockFreeReclaim::kEpoch;
+  // Striped DAG only: nodes per segment lock (the granularity spectrum's
+  // dial; 1 behaves like fine-grained, huge widths like coarse-grained).
+  std::size_t segment_width = 16;
+};
+
+std::unique_ptr<Cos> make_cos(const CosOptions& options);
+
+// Deprecated positional overload, kept for one release as a shim over
+// CosOptions. It cannot reach the lock-free reclaim or striped
+// segment-width knobs; new code should brace up a CosOptions instead.
+[[deprecated("use make_cos(const CosOptions&)")]]
 std::unique_ptr<Cos> make_cos(CosKind kind, std::size_t max_size,
                               ConflictFn conflict, bool indexed = true);
 
-// Parses "coarse-grained" / "fine-grained" / "lock-free" (also accepts
-// "coarse", "fine", "lockfree"). Returns false on unknown names.
+// Parses "coarse-grained" / "fine-grained" / "lock-free" / "striped" (also
+// accepts the short forms "coarse", "fine", "lockfree"). Returns false on
+// unknown names.
 bool parse_cos_kind(std::string_view name, CosKind* out);
 
 const char* cos_kind_name(CosKind kind);
+
+// Parses "cos-dag" / "early" / "sequential" (also accepts "dag",
+// "early-scheduling", "seq"). Returns false on unknown names.
+bool parse_scheduler_policy(std::string_view name, SchedulerPolicy* out);
+
+const char* scheduler_policy_name(SchedulerPolicy policy);
 
 }  // namespace psmr

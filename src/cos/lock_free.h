@@ -44,14 +44,10 @@
 #include "common/semaphore.h"
 #include "cos/cos.h"
 #include "cos/dep_tracker.h"
+#include "cos/reclaim.h"
 #include "memory/ebr.h"
 
 namespace psmr {
-
-enum class LockFreeReclaim : std::uint8_t {
-  kEpoch,  // retire unlinked nodes through the EBR domain (default)
-  kLeak,   // defer all frees to the destructor (ablation; mimics "GC later")
-};
 
 class LockFreeCos final : public Cos {
  public:

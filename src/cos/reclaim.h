@@ -1,0 +1,16 @@
+// Memory-reclamation policy for the lock-free DAG.
+//
+// Lives in its own header so the COS factory's CosOptions can name the
+// policy without pulling in the whole lock-free implementation.
+#pragma once
+
+#include <cstdint>
+
+namespace psmr {
+
+enum class LockFreeReclaim : std::uint8_t {
+  kEpoch,  // retire unlinked nodes through the EBR domain (default)
+  kLeak,   // defer all frees to the destructor (ablation; mimics "GC later")
+};
+
+}  // namespace psmr

@@ -5,6 +5,7 @@
 
 #include "codec/codec.h"
 #include "common/stopwatch.h"
+#include "cos/early_sched.h"
 
 namespace psmr {
 
@@ -19,6 +20,7 @@ Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
     : net_(net),
       index_(index),
       config_(config),
+      policy_(config.effective_policy()),
       service_(std::move(service)),
       metrics_{MetricsRegistry::global().counter("scheduler.batches"),
                MetricsRegistry::global().counter("scheduler.batch_commands"),
@@ -30,9 +32,18 @@ Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
                MetricsRegistry::global().histogram("scheduler.batch_size")} {
   endpoint_ = net_.add_endpoint(
       [this](NodeId from, MessagePtr m) { handle_message(from, std::move(m)); });
-  if (!config_.sequential) {
-    cos_ = make_cos(config_.cos_kind, config_.graph_size,
-                    service_->conflict());
+  if (policy_ != SchedulerPolicy::kSequential) {
+    CosOptions cos_options = config_.cos;
+    cos_options.conflict = service_->conflict();
+    auto dag = make_cos(cos_options);
+    if (policy_ == SchedulerPolicy::kEarlyScheduling) {
+      cos_ = std::make_unique<EarlyCos>(std::move(dag),
+                                        service_->class_map(),
+                                        config_.workers,
+                                        cos_options.capacity);
+    } else {
+      cos_ = std::move(dag);
+    }
   }
 }
 
@@ -69,7 +80,7 @@ void Replica::start() {
   if (running_.exchange(true)) return;
   broadcast_.load(std::memory_order_acquire)->start();
   scheduler_ = std::thread([this] { scheduler_loop(); });
-  if (!config_.sequential) {
+  if (policy_ != SchedulerPolicy::kSequential) {
     for (int w = 0; w < config_.workers; ++w) {
       workers_.emplace_back([this] { worker_loop(); });
     }
@@ -192,7 +203,7 @@ void Replica::scheduler_loop() {
       }
     }
     scheduled_count_ += fresh.size();
-    if (config_.sequential) {
+    if (policy_ == SchedulerPolicy::kSequential) {
       for (const Command& c : fresh) execute_and_reply(c);
     } else if (!fresh.empty()) {
       if (!cos_->insert_batch(fresh)) return;  // closed

@@ -9,6 +9,11 @@
 // Sequential mode (classical SMR): the scheduler thread itself executes
 // every command in delivery order — no COS, no workers.
 //
+// Early-scheduling mode routes most commands straight to per-worker queues
+// using the service's static class map and keeps the DAG only as a barrier
+// fallback (cos/early_sched.h); the scheduler and worker loops are
+// identical — the policy only changes which Cos is constructed.
+//
 // At-most-once execution: commands are identified by (client, client_seq).
 // The scheduler skips any command whose client_seq is not greater than the
 // client's highest inserted one (this absorbs both client retransmissions
@@ -37,11 +42,25 @@ namespace psmr {
 class Replica {
  public:
   struct Config {
-    bool sequential = false;  // classical SMR baseline
-    CosKind cos_kind = CosKind::kLockFree;
-    std::size_t graph_size = kPaperGraphSize;
+    // How delivery order becomes execution order: the COS dependency
+    // graph (default), early scheduling (class-routed worker queues, DAG
+    // fallback — uses the service's class_map()), or the classical
+    // sequential baseline.
+    SchedulerPolicy policy = SchedulerPolicy::kCosDag;
+    // Deprecated alias, folded into `policy`: true forces
+    // SchedulerPolicy::kSequential regardless of `policy`. Kept for one
+    // release for pre-policy callers.
+    bool sequential = false;
+    // COS construction knobs (kind, capacity, indexed, reclaim,
+    // segment_width). `cos.conflict` is ignored — the replica always uses
+    // the service's conflict relation.
+    CosOptions cos;
     int workers = 4;
     SequencedBroadcast::Config broadcast;
+
+    SchedulerPolicy effective_policy() const {
+      return sequential ? SchedulerPolicy::kSequential : policy;
+    }
   };
 
   // Registers this replica's network endpoint. After all replicas of the
@@ -122,6 +141,7 @@ class Replica {
   Transport& net_;
   const int index_;
   const Config config_;
+  const SchedulerPolicy policy_;  // config_.effective_policy(), resolved once
   std::unique_ptr<Service> service_;
   NodeId endpoint_ = -1;
 

@@ -6,6 +6,7 @@
 
 #include "common/padded.h"
 #include "common/stopwatch.h"
+#include "cos/early_sched.h"
 #include "workload/generator.h"
 
 namespace psmr {
@@ -13,7 +14,13 @@ namespace psmr {
 DsDriverResult run_ds_benchmark(const DsDriverConfig& config) {
   const std::size_t list_size = exec_cost_list_size(config.cost);
   LinkedListService service(list_size);
-  auto cos = make_cos(config.kind, config.graph_size, service.conflict());
+  CosOptions cos_options = config.cos;
+  cos_options.conflict = service.conflict();
+  std::unique_ptr<Cos> cos = make_cos(cos_options);
+  if (config.policy == SchedulerPolicy::kEarlyScheduling) {
+    cos = std::make_unique<EarlyCos>(std::move(cos), service.class_map(),
+                                     config.workers, cos_options.capacity);
+  }
 
   auto commands = make_list_workload(config.precreated_commands,
                                      config.write_pct, list_size, config.seed);

@@ -17,8 +17,14 @@
 namespace psmr {
 
 struct DsDriverConfig {
-  CosKind kind = CosKind::kLockFree;
-  std::size_t graph_size = kPaperGraphSize;
+  // kCosDag runs every command through the COS; kEarlyScheduling routes
+  // reads to per-worker queues via the list service's class map
+  // (kSequential is meaningless for the standalone harness and treated as
+  // kCosDag).
+  SchedulerPolicy policy = SchedulerPolicy::kCosDag;
+  // COS knobs; `cos.conflict` is ignored — the driver always uses the
+  // service's relation.
+  CosOptions cos;
   ExecCost cost = ExecCost::kLight;
   double write_pct = 0.0;
   int workers = 1;

@@ -18,10 +18,9 @@ SmrDriverResult run_smr_benchmark(const SmrDriverConfig& config) {
   deployment_config.net.base_latency_us = config.net_latency_us;
   deployment_config.net.jitter_us = config.net_jitter_us;
   deployment_config.net.seed = config.seed;
-  deployment_config.replica.sequential = config.sequential;
-  deployment_config.replica.cos_kind = config.kind;
+  deployment_config.replica.policy = config.policy;
+  deployment_config.replica.cos = config.cos;
   deployment_config.replica.workers = config.workers;
-  deployment_config.replica.graph_size = config.graph_size;
   deployment_config.replica.broadcast.batch_max = config.batch_max;
   deployment_config.replica.broadcast.batch_timeout_us =
       config.batch_timeout_us;

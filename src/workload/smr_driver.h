@@ -14,10 +14,12 @@
 namespace psmr {
 
 struct SmrDriverConfig {
-  bool sequential = false;  // classical SMR baseline
-  CosKind kind = CosKind::kLockFree;
+  // Scheduler policy for every replica (cos-dag / early / sequential).
+  SchedulerPolicy policy = SchedulerPolicy::kCosDag;
+  // COS knobs (kind, capacity, indexed, ...); conflict is taken from the
+  // service.
+  CosOptions cos;
   int workers = 4;
-  std::size_t graph_size = kPaperGraphSize;
   ExecCost cost = ExecCost::kLight;
   double write_pct = 0.0;
   int replicas = 3;

@@ -71,7 +71,8 @@ TEST_P(CosStressTest, ConflictOrderAndExactlyOnce) {
     if (is_write[i + 1]) last_write = i + 1;
   }
 
-  auto cos = make_cos(param.kind, kGraphSize, rw_conflict);
+  auto cos = make_cos(
+      {.kind = param.kind, .capacity = kGraphSize, .conflict = rw_conflict});
 
   std::atomic<std::uint64_t> completed_total{0};
   std::atomic<std::uint64_t> last_completed_write{0};
@@ -180,7 +181,8 @@ TEST_P(CosDeterminismTest, StateMatchesSequentialExecution) {
 
   // Parallel execution through the COS.
   LinkedListService service(kListSize);
-  auto cos = make_cos(GetParam(), 32, rw_conflict);
+  auto cos = make_cos(
+      {.kind = GetParam(), .capacity = 32, .conflict = rw_conflict});
   std::thread scheduler([&] {
     for (const Command& c : commands) {
       if (!cos->insert(c)) return;
@@ -250,8 +252,10 @@ TEST_P(IndexedKeyedStressTest, BankStateMatchesSequentialExecution) {
   for (const Command& c : commands) reference.execute(c);
 
   BankService service(kAccounts, kInitialBalance);
-  auto cos = make_cos(GetParam(), kWindow, keyset_rw_conflict,
-                      /*indexed=*/true);
+  auto cos = make_cos({.kind = GetParam(),
+                       .capacity = kWindow,
+                       .conflict = keyset_rw_conflict,
+                       .indexed = true});
   std::thread scheduler([&] {
     for (const Command& c : commands) {
       if (!cos->insert(c)) return;
@@ -316,7 +320,9 @@ TEST(CosBatchStress, LockFreeBatchInsertKeepsConflictOrder) {
     if (is_write[i + 1]) last_write = i + 1;
   }
 
-  auto cos = make_cos(CosKind::kLockFree, 64, rw_conflict);
+  auto cos = make_cos({.kind = CosKind::kLockFree,
+                       .capacity = 64,
+                       .conflict = rw_conflict});
   std::atomic<std::uint64_t> completed_total{0};
   std::atomic<std::uint64_t> last_completed_write{0};
   std::atomic<int> executing_now{0};

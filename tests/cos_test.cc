@@ -31,7 +31,8 @@ class CosSemanticsTest : public ::testing::TestWithParam<CosKind> {
  protected:
   std::unique_ptr<Cos> make(std::size_t max_size = 16,
                             ConflictFn conflict = rw_conflict) {
-    return make_cos(GetParam(), max_size, conflict);
+    return make_cos(
+        {.kind = GetParam(), .capacity = max_size, .conflict = conflict});
   }
 };
 

@@ -213,7 +213,10 @@ void run_equivalence(CosKind kind, bool indexed, std::uint64_t key_space,
                (indexed ? "/indexed" : "/scan") +
                " key_space=" + std::to_string(key_space));
 
-  auto cos = make_cos(kind, kWindow, keyset_rw_conflict, indexed);
+  auto cos = make_cos({.kind = kind,
+                       .capacity = kWindow,
+                       .conflict = keyset_rw_conflict,
+                       .indexed = indexed});
   PairwiseModel model;
   Xoshiro256 rng(seed);
 

@@ -160,7 +160,7 @@ Deployment::Config deployment_config() {
   config.replicas = 3;
   config.net.base_latency_us = 30;
   config.net.jitter_us = 20;
-  config.replica.cos_kind = CosKind::kLockFree;
+  config.replica.cos.kind = CosKind::kLockFree;
   config.replica.workers = 4;
   config.replica.broadcast.batch_timeout_us = 200;
   config.replica.broadcast.heartbeat_interval_ms = 5;

@@ -111,7 +111,8 @@ class CosOracleTest : public ::testing::TestWithParam<psmr::CosKind> {};
 TEST_P(CosOracleTest, HandoutOrderMatchesReferenceModel) {
   psmr::Xoshiro256 rng(2024);
   for (int trial = 0; trial < 10; ++trial) {
-    auto cos = psmr::make_cos(GetParam(), 32, psmr::rw_conflict);
+    auto cos = psmr::make_cos(
+        {.kind = GetParam(), .capacity = 32, .conflict = psmr::rw_conflict});
     RwWindow window;
     std::vector<std::size_t> outstanding_real;  // handles by insertion index
     std::vector<psmr::CosHandle> handles(4096);

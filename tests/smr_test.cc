@@ -36,12 +36,13 @@ SequencedBroadcast::Config fast_broadcast() {
   return config;
 }
 
-Deployment::Config make_config(bool sequential, CosKind kind, int workers) {
+Deployment::Config make_config(SchedulerPolicy policy, CosKind kind,
+                               int workers) {
   Deployment::Config config;
   config.replicas = 3;
   config.net = fast_net();
-  config.replica.sequential = sequential;
-  config.replica.cos_kind = kind;
+  config.replica.policy = policy;
+  config.replica.cos.kind = kind;
   config.replica.workers = workers;
   config.replica.broadcast = fast_broadcast();
   return config;
@@ -63,13 +64,13 @@ bool wait_executed(Deployment& deployment, std::uint64_t count,
 }
 
 struct SmrParam {
-  bool sequential;
+  SchedulerPolicy policy;
   CosKind kind;
   int workers;
 };
 
 std::string smr_param_name(const ::testing::TestParamInfo<SmrParam>& info) {
-  if (info.param.sequential) return "Sequential";
+  if (info.param.policy == SchedulerPolicy::kSequential) return "Sequential";
   std::string name;
   switch (info.param.kind) {
     case CosKind::kCoarseGrained:
@@ -85,6 +86,9 @@ std::string smr_param_name(const ::testing::TestParamInfo<SmrParam>& info) {
       name = "Striped";
       break;
   }
+  if (info.param.policy == SchedulerPolicy::kEarlyScheduling) {
+    name = "Early" + name;
+  }
   return name + "_w" + std::to_string(info.param.workers);
 }
 
@@ -94,7 +98,7 @@ TEST_P(SmrEndToEndTest, ClientsCompleteAndReplicasConverge) {
   const SmrParam param = GetParam();
   static constexpr std::size_t kListSize = 200;
   Deployment deployment(
-      make_config(param.sequential, param.kind, param.workers),
+      make_config(param.policy, param.kind, param.workers),
       [] { return std::make_unique<LinkedListService>(kListSize); });
 
   // 4 clients, mixed workload with writes so convergence is meaningful.
@@ -136,18 +140,37 @@ TEST_P(SmrEndToEndTest, ClientsCompleteAndReplicasConverge) {
 
 INSTANTIATE_TEST_SUITE_P(
     AllModes, SmrEndToEndTest,
-    ::testing::Values(SmrParam{true, CosKind::kLockFree, 0},
-                      SmrParam{false, CosKind::kCoarseGrained, 4},
-                      SmrParam{false, CosKind::kFineGrained, 4},
-                      SmrParam{false, CosKind::kLockFree, 4},
-                      SmrParam{false, CosKind::kLockFree, 8}),
+    ::testing::Values(
+        SmrParam{SchedulerPolicy::kSequential, CosKind::kLockFree, 0},
+        SmrParam{SchedulerPolicy::kCosDag, CosKind::kCoarseGrained, 4},
+        SmrParam{SchedulerPolicy::kCosDag, CosKind::kFineGrained, 4},
+        SmrParam{SchedulerPolicy::kCosDag, CosKind::kLockFree, 4},
+        SmrParam{SchedulerPolicy::kCosDag, CosKind::kLockFree, 8},
+        SmrParam{SchedulerPolicy::kEarlyScheduling, CosKind::kLockFree, 2},
+        SmrParam{SchedulerPolicy::kEarlyScheduling, CosKind::kLockFree, 4}),
     smr_param_name);
 
-TEST(SmrBank, TransfersConserveMoneyAcrossReplicas) {
+// The deprecated `sequential` flag must keep forcing the sequential policy
+// over whatever `policy` says (pre-policy callers set only the bool).
+TEST(SmrConfig, DeprecatedSequentialAliasWins) {
+  Replica::Config config;
+  config.sequential = true;
+  config.policy = SchedulerPolicy::kCosDag;
+  EXPECT_EQ(config.effective_policy(), SchedulerPolicy::kSequential);
+  config.sequential = false;
+  EXPECT_EQ(config.effective_policy(), SchedulerPolicy::kCosDag);
+  config.policy = SchedulerPolicy::kEarlyScheduling;
+  EXPECT_EQ(config.effective_policy(), SchedulerPolicy::kEarlyScheduling);
+}
+
+// Runs under both the DAG and early-scheduling policies: the transfer mix
+// includes cross-class transfers (accounts in different classes), which
+// exercise the early scheduler's barrier path end to end.
+void run_bank_conservation(SchedulerPolicy policy) {
   static constexpr std::size_t kAccounts = 32;
   static constexpr std::uint64_t kInitial = 1000;
   Deployment deployment(
-      make_config(false, CosKind::kLockFree, 4), [] {
+      make_config(policy, CosKind::kLockFree, 4), [] {
         return std::make_unique<BankService>(kAccounts, kInitial);
       });
   Xoshiro256 rng(7);
@@ -185,8 +208,16 @@ TEST(SmrBank, TransfersConserveMoneyAcrossReplicas) {
   }
 }
 
+TEST(SmrBank, TransfersConserveMoneyAcrossReplicas) {
+  run_bank_conservation(SchedulerPolicy::kCosDag);
+}
+
+TEST(SmrBank, TransfersConserveMoneyUnderEarlyScheduling) {
+  run_bank_conservation(SchedulerPolicy::kEarlyScheduling);
+}
+
 TEST(SmrKv, PerKeyConflictsStillLinearizePerKey) {
-  Deployment deployment(make_config(false, CosKind::kLockFree, 4),
+  Deployment deployment(make_config(SchedulerPolicy::kCosDag, CosKind::kLockFree, 4),
                         [] { return std::make_unique<KvService>(); });
   // Single client writing an increasing counter to one key; the replicas
   // must all end with the final value.
@@ -223,7 +254,7 @@ TEST(SmrKv, PerKeyConflictsStillLinearizePerKey) {
 TEST(SmrFaultTolerance, ServiceSurvivesLeaderCrash) {
   static constexpr std::size_t kListSize = 100;
   Deployment deployment(
-      make_config(false, CosKind::kLockFree, 4),
+      make_config(SchedulerPolicy::kCosDag, CosKind::kLockFree, 4),
       [] { return std::make_unique<LinkedListService>(kListSize); });
   Xoshiro256 rng(3);
   SmrClient::Config client_config;
@@ -270,7 +301,7 @@ TEST(SmrStateTransfer, PartitionedReplicaCatchesUpViaCheckpoint) {
   // catches up through a checkpoint (state transfer), converging to the
   // same state.
   static constexpr std::size_t kListSize = 100;
-  Deployment::Config config = make_config(false, CosKind::kLockFree, 2);
+  Deployment::Config config = make_config(SchedulerPolicy::kCosDag, CosKind::kLockFree, 2);
   config.replica.broadcast.retained_slots = 16;  // small window for the test
   config.replica.broadcast.batch_max = 4;        // many slots
   config.replica.broadcast.leader_timeout_ms = 100000;  // replica 2 must not
@@ -334,7 +365,7 @@ TEST(SmrClientTeardown, DestroyWithRepliesInFlightIsSafe) {
   // replies to the 8 pipelined commands keep arriving for milliseconds
   // after the destructor returns, so a still-registered handler would run
   // on freed memory.
-  Deployment::Config config = make_config(false, CosKind::kLockFree, 4);
+  Deployment::Config config = make_config(SchedulerPolicy::kCosDag, CosKind::kLockFree, 4);
   config.net.base_latency_us = 3000;
   config.net.jitter_us = 2000;
   Deployment deployment(config,
@@ -371,7 +402,7 @@ TEST(SmrClientTeardown, DestructorDoesNotWaitOutTimerTick) {
   // for a full tick_interval_ms between resend scans, so the destructor
   // blocked on join() for up to one tick. It now waits on a condition
   // variable the destructor signals.
-  Deployment deployment(make_config(false, CosKind::kLockFree, 2),
+  Deployment deployment(make_config(SchedulerPolicy::kCosDag, CosKind::kLockFree, 2),
                         [] { return std::make_unique<KvService>(); });
   deployment.start();
 
@@ -407,7 +438,7 @@ TEST(SmrDedup, RetransmissionsExecuteAtMostOnce) {
   // execute exactly once — otherwise the list size would drift.
   static constexpr std::size_t kListSize = 16;
   Deployment deployment(
-      make_config(false, CosKind::kLockFree, 2),
+      make_config(SchedulerPolicy::kCosDag, CosKind::kLockFree, 2),
       [] { return std::make_unique<LinkedListService>(0); });
   std::atomic<std::uint64_t> next{0};
   SmrClient::Config client_config;

@@ -63,7 +63,7 @@ TEST(DsDriver, AllImplementationsMakeProgress) {
   for (CosKind kind : {CosKind::kCoarseGrained, CosKind::kFineGrained,
                        CosKind::kLockFree}) {
     DsDriverConfig config;
-    config.kind = kind;
+    config.cos.kind = kind;
     config.cost = ExecCost::kLight;
     config.workers = 2;
     config.warmup_ms = 20;
@@ -77,8 +77,8 @@ TEST(DsDriver, AllImplementationsMakeProgress) {
 
 TEST(DsDriver, PopulationBoundedByGraphSize) {
   DsDriverConfig config;
-  config.kind = CosKind::kLockFree;
-  config.graph_size = 32;
+  config.cos.kind = CosKind::kLockFree;
+  config.cos.capacity = 32;
   config.workers = 1;
   config.warmup_ms = 10;
   config.measure_ms = 50;

@@ -49,6 +49,7 @@
 #include "net/tcp_transport.h"
 #include "smr/client.h"
 #include "smr/replica.h"
+#include "tools/options.h"
 
 namespace {
 
@@ -61,9 +62,8 @@ struct Options {
   std::vector<std::string> peers;  // replica addresses, in id order
   std::string listen;              // replica only; defaults to peers[id]
   std::string service = "kv";
-  std::string cos = "lock-free";
-  bool sequential = false;
-  int workers = 4;
+  psmr::tools::SchedulerFlags sched;    // --cos/--policy/--graph-size/...
+  psmr::tools::MetricsFlags metrics;    // --metrics-dump-ms/--metrics-format
   std::uint64_t run_ms = 60000;
   std::uint64_t ops = 1000;       // client
   int pipeline = 4;               // client
@@ -71,8 +71,6 @@ struct Options {
   std::uint64_t keys = 1024;      // key/account/value space
   std::uint64_t shards = 64;      // kv shard count (must match cluster-wide)
   std::uint64_t seed = 1;
-  std::uint64_t metrics_dump_ms = 0;   // 0 = off
-  std::string metrics_format = "json";  // or "prom"
 };
 
 // Periodically dumps the global metrics registry to stderr. stderr, not
@@ -138,54 +136,25 @@ std::vector<std::string> split_csv(const std::string& s) {
 }
 
 bool parse_args(int argc, char** argv, Options* opt) {
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&](const char* name) -> const char* {
-      const std::size_t n = std::strlen(name);
-      if (arg.compare(0, n, name) == 0 && arg.size() > n && arg[n] == '=') {
-        return arg.c_str() + n + 1;
-      }
-      return nullptr;
-    };
-    if (const char* v = value("--role")) {
-      opt->role = v;
-    } else if (const char* v = value("--id")) {
-      opt->id = std::atoi(v);
-    } else if (const char* v = value("--peers")) {
-      opt->peers = split_csv(v);
-    } else if (const char* v = value("--listen")) {
-      opt->listen = v;
-    } else if (const char* v = value("--service")) {
-      opt->service = v;
-    } else if (const char* v = value("--cos")) {
-      opt->cos = v;
-    } else if (arg == "--sequential") {
-      opt->sequential = true;
-    } else if (const char* v = value("--workers")) {
-      opt->workers = std::atoi(v);
-    } else if (const char* v = value("--run-ms")) {
-      opt->run_ms = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--ops")) {
-      opt->ops = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--pipeline")) {
-      opt->pipeline = std::atoi(v);
-    } else if (const char* v = value("--write-pct")) {
-      opt->write_pct = std::atof(v);
-    } else if (const char* v = value("--keys")) {
-      opt->keys = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--shards")) {
-      opt->shards = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--seed")) {
-      opt->seed = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--metrics-dump-ms")) {
-      opt->metrics_dump_ms = std::strtoull(v, nullptr, 10);
-    } else if (const char* v = value("--metrics-format")) {
-      opt->metrics_format = v;
-    } else {
-      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
-      return false;
-    }
-  }
+  psmr::tools::FlagSet flags;
+  flags.add_string("--role", &opt->role);
+  flags.add_int("--id", &opt->id);
+  flags.add_value("--peers", [opt](const char* v) {
+    opt->peers = split_csv(v);
+    return true;
+  });
+  flags.add_string("--listen", &opt->listen);
+  flags.add_string("--service", &opt->service);
+  opt->sched.register_with(&flags);    // --cos/--policy/--sequential/...
+  opt->metrics.register_with(&flags);  // --metrics-dump-ms/--metrics-format
+  flags.add_uint64("--run-ms", &opt->run_ms);
+  flags.add_uint64("--ops", &opt->ops);
+  flags.add_int("--pipeline", &opt->pipeline);
+  flags.add_double("--write-pct", &opt->write_pct);
+  flags.add_uint64("--keys", &opt->keys);
+  flags.add_uint64("--shards", &opt->shards);
+  flags.add_uint64("--seed", &opt->seed);
+  if (!flags.parse(argc, argv)) return false;
   if (opt->role != "replica" && opt->role != "client") {
     std::fprintf(stderr, "--role must be replica or client\n");
     return false;
@@ -194,11 +163,7 @@ bool parse_args(int argc, char** argv, Options* opt) {
     std::fprintf(stderr, "--id and --peers are required\n");
     return false;
   }
-  if (opt->metrics_format != "json" && opt->metrics_format != "prom") {
-    std::fprintf(stderr, "--metrics-format must be json or prom\n");
-    return false;
-  }
-  return true;
+  return opt->metrics.validate();
 }
 
 std::unique_ptr<psmr::Service> make_service(const Options& opt) {
@@ -277,16 +242,14 @@ int run_replica(const Options& opt) {
     return 2;
   }
   psmr::CosKind kind = psmr::CosKind::kLockFree;
-  if (!psmr::parse_cos_kind(opt.cos, &kind)) {
-    std::fprintf(stderr, "unknown --cos=%s\n", opt.cos.c_str());
-    return 2;
-  }
+  psmr::SchedulerPolicy policy = psmr::SchedulerPolicy::kCosDag;
+  if (!opt.sched.resolve(&kind, &policy)) return 2;
 
   psmr::TcpTransport transport(transport_config(opt, /*with_listener=*/true));
   psmr::Replica::Config rcfg;
-  rcfg.sequential = opt.sequential;
-  rcfg.cos_kind = kind;
-  rcfg.workers = opt.workers;
+  rcfg.policy = policy;
+  rcfg.cos = opt.sched.cos_options(kind);
+  rcfg.workers = opt.sched.workers;
   psmr::Replica replica(transport, opt.id, std::move(service), rcfg);
   if (replica.endpoint() != opt.id) {
     std::fprintf(stderr, "failed to start transport (bind %s?)\n",
@@ -297,7 +260,7 @@ int run_replica(const Options& opt) {
   for (int i = 0; i < n; ++i) endpoints.push_back(i);
   replica.connect(endpoints);
   replica.start();
-  MetricsDumper dumper(opt.metrics_dump_ms, opt.metrics_format == "prom");
+  MetricsDumper dumper(opt.metrics.dump_ms, opt.metrics.prometheus());
 
   const std::uint64_t deadline_ns =
       psmr::now_ns() + opt.run_ms * 1'000'000ull;
@@ -355,7 +318,7 @@ int run_client(const Options& opt) {
     return 2;
   }
   client.start();
-  MetricsDumper dumper(opt.metrics_dump_ms, opt.metrics_format == "prom");
+  MetricsDumper dumper(opt.metrics.dump_ms, opt.metrics.prometheus());
 
   const std::uint64_t deadline_ns =
       psmr::now_ns() + opt.run_ms * 1'000'000ull;
