@@ -46,7 +46,7 @@ double run_striped(std::size_t width, int workers, double write_pct,
   std::thread scheduler([&] {
     std::uint64_t id = 1;
     std::size_t index = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
+    while (!stop.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       psmr::Command c = commands[index];
       if (++index == commands.size()) index = 0;
       c.id = id++;
@@ -62,13 +62,13 @@ double run_striped(std::size_t width, int workers, double write_pct,
         if (!h) return;
         service.execute(*h.cmd);
         cos.remove(h);
-        counter.fetch_add(1, std::memory_order_relaxed);
+        counter.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       }
     });
   }
   auto total = [&] {
     std::uint64_t t = 0;
-    for (const auto& c : completed) t += c.value.load(std::memory_order_relaxed);
+    for (const auto& c : completed) t += c.value.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
     return t;
   };
   std::this_thread::sleep_for(std::chrono::milliseconds(60));

@@ -34,7 +34,7 @@ double run_lockfree(LockFreeReclaim mode, int workers, std::uint64_t ms,
 
   std::thread scheduler([&] {
     std::uint64_t id = 1;
-    while (!stop.load(std::memory_order_relaxed)) {
+    while (!stop.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       Command c = (id % 10 == 0) ? psmr::LinkedListService::make_add(id)
                                  : psmr::LinkedListService::make_contains(id);
       c.id = id++;
@@ -47,7 +47,7 @@ double run_lockfree(LockFreeReclaim mode, int workers, std::uint64_t ms,
       while (true) {
         CosHandle h = cos.get();
         if (!h) return;
-        completed.fetch_add(1, std::memory_order_relaxed);
+        completed.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
         cos.remove(h);
       }
     });

@@ -80,6 +80,7 @@ Command BankService::make_balance(std::uint64_t account) {
   c.mode = AccessMode::kRead;
   c.nkeys = 1;
   c.keys[0] = account;
+  debug_assert_sorted_keys(c);
   return c;
 }
 
@@ -90,6 +91,7 @@ Command BankService::make_deposit(std::uint64_t account, std::uint64_t amount) {
   c.nkeys = 1;
   c.keys[0] = account;
   c.arg = amount;
+  debug_assert_sorted_keys(c);
   return c;
 }
 
@@ -102,6 +104,7 @@ Command BankService::make_transfer(std::uint64_t from, std::uint64_t to,
   c.keys[0] = std::min(from, to);
   c.keys[1] = std::max(from, to);
   c.arg = amount;
+  debug_assert_sorted_keys(c);
   return c;
 }
 

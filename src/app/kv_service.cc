@@ -94,6 +94,7 @@ Command KvService::make_get(std::uint64_t key) const {
   c.nkeys = 1;
   c.keys[0] = shard_of(key);
   c.keys[1] = key;
+  debug_assert_sorted_keys(c);
   return c;
 }
 
@@ -105,6 +106,7 @@ Command KvService::make_put(std::uint64_t key, std::uint64_t value) const {
   c.keys[0] = shard_of(key);
   c.keys[1] = key;
   c.arg = value;
+  debug_assert_sorted_keys(c);
   return c;
 }
 
@@ -115,6 +117,7 @@ Command KvService::make_del(std::uint64_t key) const {
   c.nkeys = 1;
   c.keys[0] = shard_of(key);
   c.keys[1] = key;
+  debug_assert_sorted_keys(c);
   return c;
 }
 

@@ -194,7 +194,7 @@ class SequencedBroadcast {
   std::map<int, ViewChangeMsg> view_change_msgs_
       PSMR_GUARDED_BY(mu_);  // by replica index
 
-  Metrics metrics_;
+  const Metrics metrics_;
 
   std::thread timer_;
   CondVar timer_cv_;

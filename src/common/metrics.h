@@ -142,8 +142,8 @@ class HistogramMetric {
   }
 
  private:
-  mutable std::mutex mu_;
-  Histogram hist_;
+  mutable std::mutex mu_;  // NOLINT(psmr-raw-mutex) leaf lock below the rank hierarchy; metrics are callable under any lock
+  Histogram hist_;  // NOLINT(psmr-guarded-by-coverage) all access through record(), under mu_
 };
 
 // Name -> metric registry. Metrics are created on first lookup and live for
@@ -162,11 +162,11 @@ class MetricsRegistry {
   MetricsSnapshot snapshot() const;
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  mutable std::mutex mu_;  // NOLINT(psmr-raw-mutex) leaf lock below the rank hierarchy; metrics are callable under any lock
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;  // NOLINT(psmr-guarded-by-coverage) guarded by mu_; node stability lets callers hold refs lock-free
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;  // NOLINT(psmr-guarded-by-coverage) guarded by mu_; node stability lets callers hold refs lock-free
   std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
-      histograms_;
+      histograms_;  // NOLINT(psmr-guarded-by-coverage) guarded by mu_; node stability lets callers hold refs lock-free
 };
 
 #else  // !PSMR_METRICS_ENABLED — every call compiles to nothing.

@@ -83,6 +83,7 @@ void KeyIndex::grow() {
 
 void KeyIndex::add(std::span<const std::uint64_t> keys, bool write,
                    void* node) {
+  debug_assert_sorted_span(keys);
   const std::uint64_t* prev = nullptr;
   for (const std::uint64_t& key : keys) {
     if (prev != nullptr && *prev == key) continue;
@@ -92,6 +93,7 @@ void KeyIndex::add(std::span<const std::uint64_t> keys, bool write,
 }
 
 void KeyIndex::remove(std::span<const std::uint64_t> keys, void* node) {
+  debug_assert_sorted_span(keys);
   const std::uint64_t* prev = nullptr;
   for (const std::uint64_t& key : keys) {
     if (prev != nullptr && *prev == key) continue;

@@ -33,12 +33,25 @@
 //   - wholesale, by clear() on COS destruction.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>
 
 namespace psmr {
+
+// Debug check of the sorted-keys precondition shared by add()/remove()/
+// for_each_conflicting(): the adjacent-duplicate skip and the conflict
+// merge in conflict.h are only correct over ascending keys (the Command
+// invariant, command.h). Compiled out under NDEBUG.
+inline void debug_assert_sorted_span(std::span<const std::uint64_t> keys) {
+  for (std::size_t i = 1; i < keys.size(); ++i) {
+    assert(keys[i - 1] <= keys[i] &&
+           "KeyIndex requires sorted keys (Command invariant)");
+  }
+  (void)keys;
+}
 
 class KeyIndex {
  public:
@@ -74,6 +87,7 @@ class KeyIndex {
   template <typename Fn>
   void for_each_conflicting(std::span<const std::uint64_t> keys, bool write,
                             Fn&& fn) {
+    debug_assert_sorted_span(keys);
     const std::uint64_t* prev = nullptr;
     for (const std::uint64_t& key : keys) {
       if (prev != nullptr && *prev == key) continue;

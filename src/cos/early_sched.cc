@@ -12,7 +12,7 @@ namespace psmr {
 namespace {
 std::uint64_t next_instance_id() {
   static std::atomic<std::uint64_t> counter{0};
-  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;  // NOLINT(psmr-relaxed-order-audit) monotonic id; uniqueness from RMW
 }
 }  // namespace
 
@@ -42,7 +42,7 @@ EarlyCos::Worker& EarlyCos::self() {
   thread_local std::uint64_t tls_instance = 0;
   thread_local std::size_t tls_index = 0;
   if (tls_instance != id_) {
-    tls_index = next_consumer_.fetch_add(1, std::memory_order_relaxed);
+    tls_index = next_consumer_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) round-robin assignment; any order acceptable
     tls_instance = id_;
     if (tls_index >= workers_.size()) {
       std::fprintf(stderr,
@@ -63,7 +63,7 @@ bool EarlyCos::push_item(Worker& w, const Item& item) {
     std::uint64_t t0 = 0;
     if constexpr (kMetricsEnabled) t0 = now_ns();
     while (!w.ring.try_push(item)) {
-      if (closed_.load(std::memory_order_relaxed)) return false;
+      if (closed_.load(std::memory_order_relaxed)) return false;  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       std::this_thread::yield();
     }
     if constexpr (kMetricsEnabled) m.insert_block_ns.inc(now_ns() - t0);
@@ -81,7 +81,7 @@ bool EarlyCos::wait_phase_drained() {
     std::uint64_t t0 = 0;
     if constexpr (kMetricsEnabled) t0 = now_ns();
     while (phase->executed.load(std::memory_order_acquire) < phase->count) {
-      if (closed_.load(std::memory_order_relaxed)) return false;
+      if (closed_.load(std::memory_order_relaxed)) return false;  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       std::this_thread::yield();
     }
     if constexpr (kMetricsEnabled) m.insert_block_ns.inc(now_ns() - t0);
@@ -121,7 +121,7 @@ bool EarlyCos::insert_one(const Command& c) {
     if (!push_item(w, item)) return false;
     class_hits_.inc();
     queue_depth_.add(1);
-    queued_.fetch_add(1, std::memory_order_relaxed);
+    queued_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
     auto& m = cos_metrics();
     m.inserts.inc();
     m.ready_enq.inc();  // queue-routed commands are born dependency-free
@@ -153,7 +153,7 @@ bool EarlyCos::insert_batch(std::span<const Command> batch) {
 
 EarlyCos::Claim EarlyCos::claim_from_phase(Worker& w, CosHandle* out) {
   SyncPhase& p = *w.phase;
-  if (p.claimed.fetch_add(1, std::memory_order_relaxed) < p.count) {
+  if (p.claimed.fetch_add(1, std::memory_order_relaxed) < p.count) {  // NOLINT(psmr-relaxed-order-audit) atomic ticket; RMW uniqueness is all that matters
     const CosHandle h = dag_->get();
     if (!h) return Claim::kClosed;
     w.dag_handle = h;
@@ -164,7 +164,7 @@ EarlyCos::Claim EarlyCos::claim_from_phase(Worker& w, CosHandle* out) {
   // Claim budget exhausted: wait out the phase so everything delivered
   // after it observes its effects (and pops strictly after it).
   while (p.executed.load(std::memory_order_acquire) < p.count) {
-    if (closed_.load(std::memory_order_relaxed)) return Claim::kClosed;
+    if (closed_.load(std::memory_order_relaxed)) return Claim::kClosed;  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
     std::this_thread::yield();
   }
   w.phase.reset();
@@ -203,7 +203,7 @@ CosHandle EarlyCos::get() {
     SyncPhase& p = *item.phase;
     p.arrived.fetch_add(1, std::memory_order_acq_rel);
     while (p.arrived.load(std::memory_order_acquire) < p.workers) {
-      if (closed_.load(std::memory_order_relaxed)) return {};
+      if (closed_.load(std::memory_order_relaxed)) return {};  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       std::this_thread::yield();
     }
     w.phase = std::move(item.phase);
@@ -219,13 +219,13 @@ void EarlyCos::remove(CosHandle h) {
     w.dag_handle = {};
     w.phase->executed.fetch_add(1, std::memory_order_acq_rel);
   } else {
-    queued_.fetch_sub(1, std::memory_order_relaxed);
+    queued_.fetch_sub(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
     cos_metrics().removes.inc();
   }
 }
 
 void EarlyCos::close() {
-  closed_.store(true, std::memory_order_relaxed);
+  closed_.store(true, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
   dag_->close();
   for (auto& w : workers_) w->items.close();
 }

@@ -81,7 +81,7 @@ class EarlyCos final : public Cos {
 
   std::size_t capacity() const override;
   std::size_t approx_size() const override {
-    return queued_.load(std::memory_order_relaxed) + dag_->approx_size();
+    return queued_.load(std::memory_order_relaxed) + dag_->approx_size();  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   }
   const char* name() const override { return "early-scheduling"; }
 

@@ -69,7 +69,7 @@ bool FineGrainedCos::insert(const Command& c) {
   // exactly one side releases.
   std::unique_lock added_lock(added->mx);
   prev->next = added;
-  population_.fetch_add(1, std::memory_order_relaxed);
+  population_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   const bool is_ready = added->in_count == 0;
   prev_lock.unlock();
   added_lock.unlock();
@@ -144,7 +144,7 @@ bool FineGrainedCos::insert_indexed(const Command& c) {
   index_.add(acc.keys, acc.write, added);
   fence.unlock();
 
-  population_.fetch_add(1, std::memory_order_relaxed);
+  population_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   bool is_ready = false;
   {
     std::lock_guard added_lock(added->mx);
@@ -205,7 +205,7 @@ void FineGrainedCos::remove(CosHandle h) {
   // inserter compares/links under the tail node's mx, so it either sees the
   // repaired value or finds `node` defunct and retries.
   if (extract_ != nullptr &&
-      tail_.load(std::memory_order_relaxed) == node) {
+      tail_.load(std::memory_order_relaxed) == node) {  // NOLINT(psmr-relaxed-order-audit) shortcut hint; re-validated under the node locks
     tail_.store(prev, std::memory_order_release);
   }
   Node* successor = node->next;
@@ -248,7 +248,7 @@ void FineGrainedCos::remove(CosHandle h) {
     index_.remove(extract_(node->cmd).keys, node);
   }
   delete node;
-  population_.fetch_sub(1, std::memory_order_relaxed);
+  population_.fetch_sub(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   cos_metrics().removes.inc();
   if (freed > 0) cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(freed));
   ready_.release(freed);

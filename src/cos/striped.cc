@@ -44,7 +44,7 @@ bool StripedCos::insert(const Command& c) {
   if (!space_.acquire()) return false;  // closed
 
   if (extract_ != nullptr &&
-      dead_segments_.load(std::memory_order_relaxed) >= kSweepThreshold) {
+      dead_segments_.load(std::memory_order_relaxed) >= kSweepThreshold) {  // NOLINT(psmr-relaxed-order-audit) sweep-trigger heuristic; threshold is approximate
     sweep_dead_segments();
   }
 
@@ -153,7 +153,7 @@ bool StripedCos::insert(const Command& c) {
     ++tail->live;
     is_ready = added->in_count == 0;
   }
-  population_.fetch_add(1, std::memory_order_relaxed);
+  population_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   cos_metrics().inserts.inc();
   if (is_ready) {
     cos_metrics().ready_enq.inc();
@@ -206,7 +206,7 @@ void StripedCos::remove(CosHandle h) {
     dependents.swap(node->out);
   }
   if (segment_died && extract_ != nullptr) {
-    dead_segments_.fetch_add(1, std::memory_order_relaxed);
+    dead_segments_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) sweep-trigger heuristic; threshold is approximate
   }
 
   // Release dependents. One lock at a time (never while holding another),
@@ -222,7 +222,7 @@ void StripedCos::remove(CosHandle h) {
     }
   }
 
-  population_.fetch_sub(1, std::memory_order_relaxed);
+  population_.fetch_sub(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) approximate occupancy gauge
   cos_metrics().removes.inc();
   if (freed > 0) cos_metrics().ready_enq.inc(static_cast<std::uint64_t>(freed));
   ready_.release(freed);
@@ -258,7 +258,7 @@ void StripedCos::sweep_dead_segments() {
     cur = cur->next;
   }
   prev_lock.unlock();
-  if (swept > 0) dead_segments_.fetch_sub(swept, std::memory_order_relaxed);
+  if (swept > 0) dead_segments_.fetch_sub(swept, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) sweep-trigger heuristic; threshold is approximate
 }
 
 std::vector<std::pair<std::uint64_t, std::uint64_t>> StripedCos::debug_edges() {

@@ -22,6 +22,8 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <new>
 #include <utility>
 #include <vector>
@@ -45,8 +47,10 @@ class HazardDomain {
     Padded<std::atomic<void*>> slots[kSlotsPerThread];
     std::atomic<bool> used{false};
     // kReclaim is the innermost rank: retire() may run under COS locks and
-    // the deleters it invokes take no locks at all.
-    RankedMutex<lock_rank::kReclaim> limbo_mu;
+    // the deleters it invokes take no locks at all. Mutable so the const
+    // statistics reads (retired_pending) can lock it — recs_ is a plain
+    // array, unlike EbrDomain's unique_ptr, so const propagates into it.
+    mutable RankedMutex<lock_rank::kReclaim> limbo_mu;
     std::vector<Retired> limbo PSMR_GUARDED_BY(limbo_mu);
   };
 
@@ -121,7 +125,37 @@ class HazardDomain {
 #endif
   }
 
+  // Debug invariant: every retire in this domain comes from one thread.
+  // Parity with EbrDomain::debug_expect_single_remover() — callers that
+  // confine physical removal to a single thread (the lock-free COS's
+  // insert thread, §6.2.1) get the same abort-on-violation behavior no
+  // matter which reclamation scheme backs them. No-op unless
+  // PSMR_MEMORY_DEBUG.
+  void debug_expect_single_remover() {
+    single_remover_.store(true, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) debug-mode hint; set before sharing
+  }
+
   void retire_raw(void* ptr, void (*deleter)(void*)) {
+#if PSMR_MEMORY_DEBUG
+    if (single_remover_.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) debug-mode hint; set before sharing
+      // Sticky first-retirer identity (same scheme as ebr.cc): the first
+      // retire claims the slot, any retire from a different thread
+      // afterwards is an invariant violation.
+      static thread_local char t_anchor;
+      const auto tid = reinterpret_cast<std::uintptr_t>(&t_anchor);
+      std::uintptr_t expected = 0;
+      if (!debug_retirer_.compare_exchange_strong(expected, tid,
+                                                  std::memory_order_relaxed) &&  // NOLINT(psmr-relaxed-order-audit) debug identity check; RMW atomicity suffices
+          expected != tid) {
+        std::fprintf(stderr,
+                     "HazardDomain: single-remover invariant violated — "
+                     "retire from a second thread (first=%#zx this=%#zx)\n",
+                     static_cast<std::size_t>(expected),
+                     static_cast<std::size_t>(tid));
+        std::abort();
+      }
+    }
+#endif
     Rec* rec = rec_for_current_thread();
     std::size_t limbo_size;
     {
@@ -147,7 +181,7 @@ class HazardDomain {
   }
 
   std::uint64_t total_freed() const {
-    return total_freed_.load(std::memory_order_relaxed);
+    return total_freed_.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   }
 
   // Frees everything unconditionally. Caller must guarantee no hazards are
@@ -157,7 +191,7 @@ class HazardDomain {
     for (std::size_t i = 0; i < hw; ++i) {
       MutexLock lock(recs_[i].limbo_mu);
       for (const auto& r : recs_[i].limbo) r.deleter(r.ptr);
-      total_freed_.fetch_add(recs_[i].limbo.size(), std::memory_order_relaxed);
+      total_freed_.fetch_add(recs_[i].limbo.size(), std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       recs_[i].limbo.clear();
     }
   }
@@ -180,7 +214,7 @@ class HazardDomain {
       bool expected = false;
       if (recs_[i].used.compare_exchange_strong(expected, true,
                                                 std::memory_order_acq_rel)) {
-        std::size_t hw = high_water_.load(std::memory_order_relaxed);
+        std::size_t hw = high_water_.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat high-water mark
         while (hw < i + 1 && !high_water_.compare_exchange_weak(
                                  hw, i + 1, std::memory_order_acq_rel)) {
         }
@@ -217,7 +251,7 @@ class HazardDomain {
       }
     }
     rec.limbo.resize(keep);
-    total_freed_.fetch_add(freed, std::memory_order_relaxed);
+    total_freed_.fetch_add(freed, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
     return freed;
   }
 
@@ -225,6 +259,12 @@ class HazardDomain {
   Rec recs_[kMaxThreads];
   std::atomic<std::size_t> high_water_{0};
   std::atomic<std::uint64_t> total_freed_{0};
+
+  // Single-remover debug check (see debug_expect_single_remover). The
+  // retirer identity is the address of a thread_local anchor — unique per
+  // live thread, comparable without <thread>.
+  std::atomic<bool> single_remover_{false};
+  std::atomic<std::uintptr_t> debug_retirer_{0};
 };
 
 }  // namespace psmr

@@ -29,7 +29,7 @@ NodeId SimNetwork::add_endpoint(Handler handler) {
       // not dispatch) whatever the close left behind — the handler's owner
       // is being destroyed.
       if (raw->removed.load(std::memory_order_acquire)) {
-        dropped_.fetch_add(1, std::memory_order_relaxed);
+        dropped_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
         metrics_.dropped.inc();
         continue;
       }
@@ -46,13 +46,13 @@ void SimNetwork::send(NodeId from, NodeId to, MessagePtr msg) {
   const auto n = static_cast<NodeId>(endpoints_.size());
   if (to < 0 || to >= n || from < 0 || from >= n) return;
   if (endpoints_[static_cast<std::size_t>(from)]->crashed.load(
-          std::memory_order_relaxed)) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+          std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
     metrics_.dropped.inc();
     return;
   }
   if (config_.drop_rate > 0.0 && rng_.uniform() < config_.drop_rate) {
-    dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
     metrics_.dropped.inc();
     return;
   }
@@ -92,7 +92,7 @@ void SimNetwork::crash(NodeId node) {
     MutexLock lock(mu_);
     if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return;
     endpoint = endpoints_[static_cast<std::size_t>(node)].get();
-    endpoint->crashed.store(true, std::memory_order_relaxed);
+    endpoint->crashed.store(true, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
     // Drop its queued traffic now and forget its per-link FIFO state:
     // long-running fault tests crash many endpoints, and dead links must
     // not accumulate.
@@ -135,7 +135,7 @@ void SimNetwork::purge_node_locked(NodeId node) {
     InFlight item = queue_.top();
     queue_.pop();
     if (item.to == node || item.from == node) {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       metrics_.dropped.inc();
       metrics_.inflight.sub(1);
     } else {
@@ -159,7 +159,7 @@ bool SimNetwork::crashed(NodeId node) const {
   MutexLock lock(mu_);
   if (node < 0 || node >= static_cast<NodeId>(endpoints_.size())) return true;
   return endpoints_[static_cast<std::size_t>(node)]->crashed.load(
-      std::memory_order_relaxed);
+      std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
 }
 
 void SimNetwork::delivery_loop() {
@@ -182,18 +182,18 @@ void SimNetwork::delivery_loop() {
     metrics_.inflight.sub(1);
     Endpoint& to = *endpoints_[static_cast<std::size_t>(item.to)];
     const bool deliverable =
-        !to.crashed.load(std::memory_order_relaxed) &&
+        !to.crashed.load(std::memory_order_relaxed) &&  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
         !endpoints_[static_cast<std::size_t>(item.from)]->crashed.load(
-            std::memory_order_relaxed) &&
+            std::memory_order_relaxed) &&  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
         link_up_locked(item.from, item.to);
     // Push outside the lock would be nicer, but the inbox push never
     // blocks (unbounded queue), so holding mu_ here is bounded. A push to
     // a closed inbox (removed endpoint) reports the message as dropped.
     if (deliverable && to.inbox.push({item.from, std::move(item.msg)})) {
-      delivered_.fetch_add(1, std::memory_order_relaxed);
+      delivered_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       metrics_.delivered.inc();
     } else {
-      dropped_.fetch_add(1, std::memory_order_relaxed);
+      dropped_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       metrics_.dropped.inc();
     }
   }

@@ -80,10 +80,10 @@ class SimNetwork final : public Transport {
 
   // Statistics.
   std::uint64_t messages_delivered() const override {
-    return delivered_.load(std::memory_order_relaxed);
+    return delivered_.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   }
   std::uint64_t messages_dropped() const override {
-    return dropped_.load(std::memory_order_relaxed);
+    return dropped_.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   }
 
   // Stops all threads. Called by the destructor; idempotent.
@@ -147,7 +147,7 @@ class SimNetwork final : public Transport {
 
   std::atomic<std::uint64_t> delivered_{0};
   std::atomic<std::uint64_t> dropped_{0};
-  Metrics metrics_;
+  const Metrics metrics_;
 };
 
 }  // namespace psmr

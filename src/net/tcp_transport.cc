@@ -113,7 +113,7 @@ NodeId TcpTransport::add_endpoint(Handler handler) {
       // Per-message gate so remove_endpoint can fence out the handler; see
       // the dispatch_mu_ comment in the header.
       std::lock_guard<std::mutex> gate(dispatch_mu_);
-      if (endpoint_removed_.load(std::memory_order_relaxed)) {
+      if (endpoint_removed_.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
         drop_message();
         continue;
       }
@@ -125,7 +125,7 @@ NodeId TcpTransport::add_endpoint(Handler handler) {
 
 void TcpTransport::remove_endpoint(NodeId node) {
   if (node != config_.local_id) return;
-  endpoint_removed_.store(true, std::memory_order_relaxed);
+  endpoint_removed_.store(true, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
   // Wait out an in-progress handler invocation; any dispatch that starts
   // after this unlock observes the flag (the mutex orders the store).
   std::lock_guard<std::mutex> gate(dispatch_mu_);
@@ -149,7 +149,7 @@ void TcpTransport::send(NodeId from, NodeId to, MessagePtr msg) {
   }
   if (to == config_.local_id) {  // self-send: no socket round trip
     if (inbox_.push({from, std::move(msg)})) {
-      delivered_.fetch_add(1, std::memory_order_relaxed);
+      delivered_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       metrics_.delivered.inc();
     } else {
       drop_message();
@@ -388,7 +388,7 @@ bool TcpTransport::parse_inbound_locked(Conn& conn) {
     metrics_.frames_in.inc();
     if (msg) {
       if (inbox_.push({conn.peer, std::move(msg)})) {
-        delivered_.fetch_add(1, std::memory_order_relaxed);
+        delivered_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
         metrics_.delivered.inc();
       } else {
         drop_message();
@@ -531,7 +531,7 @@ void TcpTransport::io_loop() {
 
     epoll_event events[64];
     lock.unlock();
-    const int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);
+    const int n = epoll_wait(epoll_fd_, events, 64, timeout_ms);  // NOLINT(psmr-blocking-under-lock) lock released across the wait (unlock/lock pair)
     lock.lock();
     for (int i = 0; i < n; ++i) {
       const std::uint64_t tag = events[i].data.u64;
@@ -579,7 +579,7 @@ void TcpTransport::io_loop() {
     if (!pending) break;
     epoll_event events[16];
     lock.unlock();
-    epoll_wait(epoll_fd_, events, 16, 10);
+    epoll_wait(epoll_fd_, events, 16, 10);  // NOLINT(psmr-blocking-under-lock) lock released across the wait (unlock/lock pair)
     lock.lock();
   }
   while (!conns_.empty()) {

@@ -89,7 +89,7 @@ void SmrClient::handle_message(NodeId /*from*/, const MessagePtr& m) {
   }
   latency_.record(now_ns() - it->second.issued_ns);
   outstanding_.erase(it);
-  completed_.fetch_add(1, std::memory_order_relaxed);
+  completed_.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   metrics_.completed.inc();
   metrics_.pipeline.sub(1);
   if (issuing_) {

@@ -55,7 +55,7 @@ class SmrClient {
 
   NodeId endpoint() const { return endpoint_; }
   std::uint64_t completed() const {
-    return completed_.load(std::memory_order_relaxed);
+    return completed_.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   }
 
   // Snapshot of the latency histogram (thread-safe copy).
@@ -102,7 +102,7 @@ class SmrClient {
   Histogram latency_ PSMR_GUARDED_BY(mu_);
 
   std::atomic<std::uint64_t> completed_{0};
-  Metrics metrics_;
+  const Metrics metrics_;
   std::thread timer_;
 };
 

@@ -36,15 +36,15 @@ DsDriverResult run_ds_benchmark(const DsDriverConfig& config) {
   std::thread scheduler([&] {
     std::uint64_t next_id = 1;
     std::size_t index = 0;
-    while (!stop.load(std::memory_order_relaxed)) {
+    while (!stop.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       Command c = commands[index];
       if (++index == commands.size()) index = 0;
       c.id = next_id++;
       if (!cos->insert(c)) return;  // closed
       if ((next_id & 63) == 0) {
         population_sum.fetch_add(cos->approx_size(),
-                                 std::memory_order_relaxed);
-        population_samples.fetch_add(1, std::memory_order_relaxed);
+                                 std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
+        population_samples.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       }
     }
   });
@@ -59,7 +59,7 @@ DsDriverResult run_ds_benchmark(const DsDriverConfig& config) {
         if (!h) return;  // closed
         service.execute(*h.cmd);
         cos->remove(h);
-        counter.fetch_add(1, std::memory_order_relaxed);
+        counter.fetch_add(1, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
       }
     });
   }
@@ -67,26 +67,26 @@ DsDriverResult run_ds_benchmark(const DsDriverConfig& config) {
   auto total_completed = [&] {
     std::uint64_t total = 0;
     for (const auto& c : completed)
-      total += c.value.load(std::memory_order_relaxed);
+      total += c.value.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
     return total;
   };
 
   std::this_thread::sleep_for(std::chrono::milliseconds(config.warmup_ms));
   const std::uint64_t ops_before = total_completed();
   const std::uint64_t pop_sum_before =
-      population_sum.load(std::memory_order_relaxed);
+      population_sum.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   const std::uint64_t pop_n_before =
-      population_samples.load(std::memory_order_relaxed);
+      population_samples.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   Stopwatch watch;
   std::this_thread::sleep_for(std::chrono::milliseconds(config.measure_ms));
   const std::uint64_t elapsed = watch.elapsed_ns();
   const std::uint64_t ops_after = total_completed();
   const std::uint64_t pop_sum_after =
-      population_sum.load(std::memory_order_relaxed);
+      population_sum.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
   const std::uint64_t pop_n_after =
-      population_samples.load(std::memory_order_relaxed);
+      population_samples.load(std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) stat counter
 
-  stop.store(true, std::memory_order_relaxed);
+  stop.store(true, std::memory_order_relaxed);  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
   cos->close();
   scheduler.join();
   for (auto& worker : workers) worker.join();

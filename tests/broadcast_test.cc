@@ -92,7 +92,7 @@ class BroadcastHarness {
   std::vector<NodeId> endpoints_;
   std::vector<std::unique_ptr<SequencedBroadcast>> engines_;
   std::atomic<bool> engines_ready_{false};
-  std::vector<std::mutex> mus_;
+  std::vector<std::mutex> mus_;  // NOLINT(psmr-raw-mutex) test harness; independent per-slot locks, no nesting
   std::vector<std::vector<std::pair<std::uint64_t, std::uint64_t>>>
       deliveries_;  // (slot seq, command tag)
 };

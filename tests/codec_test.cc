@@ -2,6 +2,9 @@
 // round trips for every protocol message, service snapshot/restore round
 // trips, and robustness of every decoder against truncated and random
 // input.
+#include <algorithm>
+#include <array>
+
 #include <gtest/gtest.h>
 
 #include "app/bank_service.h"
@@ -328,9 +331,9 @@ TEST(GoldenBytes, CommandEncoding) {
   c.client_seq = 3;
   c.op = 0x1234;
   c.mode = AccessMode::kWrite;
-  c.nkeys = 2;
-  c.keys[0] = 5;
-  c.keys[1] = 300;
+  c.nkeys = 2;  // NOLINT(psmr-sorted-keys) hand-built command for byte-exact golden encoding
+  c.keys[0] = 5;  // NOLINT(psmr-sorted-keys) hand-built command for byte-exact golden encoding
+  c.keys[1] = 300;  // NOLINT(psmr-sorted-keys) hand-built command for byte-exact golden encoding
   c.arg = 128;
   ByteWriter w;
   encode_command(c, w);
@@ -352,9 +355,9 @@ TEST(GoldenBytes, CommandEncodingCarriesPayloadKeys) {
   c.id = 1;
   c.op = 7;
   c.mode = AccessMode::kWrite;
-  c.nkeys = 1;
-  c.keys[0] = 4;
-  c.keys[1] = 300;
+  c.nkeys = 1;  // NOLINT(psmr-sorted-keys) hand-built command for byte-exact golden encoding
+  c.keys[0] = 4;  // NOLINT(psmr-sorted-keys) hand-built command for byte-exact golden encoding
+  c.keys[1] = 300;  // NOLINT(psmr-sorted-keys) hand-built command for byte-exact golden encoding
   c.arg = 9;
   ByteWriter w;
   encode_command(c, w);
@@ -392,6 +395,49 @@ TEST(CommandCodec, DecodeSortsConflictKeys) {
   ASSERT_TRUE(decode_command(r, &decoded));
   EXPECT_EQ(decoded.keys[0], 7u);
   EXPECT_EQ(decoded.keys[1], 9u);
+}
+
+TEST(CommandCodec, AdversarialUnsortedKeysetsRoundTripSorted) {
+  // Randomized version of the above, through the full encode/decode round
+  // trip: a peer that violates the sorted-keys Command invariant (built here
+  // by writing the fields directly, bypassing the sanctioned builders) must
+  // come out of decode with the invariant re-established — same key
+  // multiset, sorted ascending, payload slots untouched.
+  Xoshiro256 rng(0xC0DEC0DEu);
+  for (int trial = 0; trial < 500; ++trial) {
+    Command c;
+    c.id = trial;
+    c.op = static_cast<std::uint16_t>(rng.below(1 << 16));
+    c.mode = rng.below(2) == 0 ? AccessMode::kRead : AccessMode::kWrite;
+    const std::uint8_t nkeys = static_cast<std::uint8_t>(rng.below(5));
+    // Adversarial on purpose: unsorted conflict keys, never via a builder.
+    c.nkeys = nkeys;  // NOLINT(psmr-sorted-keys) fuzz feeds unsorted keys on purpose
+    for (std::size_t i = 0; i < c.keys.size(); ++i) {
+      c.keys[i] = rng.below(64);  // NOLINT(psmr-sorted-keys) fuzz feeds unsorted keys on purpose
+    }
+    c.arg = rng();
+
+    ByteWriter w;
+    encode_command(c, w);
+    ByteReader r(w.bytes());
+    Command decoded;
+    ASSERT_TRUE(decode_command(r, &decoded));
+
+    ASSERT_EQ(decoded.nkeys, nkeys);
+    std::array<std::uint64_t, 4> want = c.keys;
+    std::sort(want.begin(), want.begin() + nkeys);
+    for (std::uint8_t i = 0; i < nkeys; ++i) {
+      EXPECT_EQ(decoded.keys[i], want[i]) << "trial " << trial;
+    }
+    for (std::size_t i = nkeys; i < c.keys.size(); ++i) {
+      EXPECT_EQ(decoded.keys[i], c.keys[i])
+          << "payload slot clobbered, trial " << trial;
+    }
+    debug_assert_sorted_keys(decoded);
+    EXPECT_EQ(decoded.arg, c.arg);
+    EXPECT_EQ(decoded.op, c.op);
+    EXPECT_EQ(decoded.mode, c.mode);
+  }
 }
 
 TEST(GoldenBytes, ReplyMessageEncoding) {

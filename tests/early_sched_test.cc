@@ -45,9 +45,9 @@ Command keyed(std::uint64_t k0, std::uint64_t k1, std::uint8_t nkeys,
               bool write) {
   Command c;
   c.mode = write ? AccessMode::kWrite : AccessMode::kRead;
-  c.nkeys = nkeys;
-  c.keys[0] = k0;
-  c.keys[1] = k1;
+  c.nkeys = nkeys;  // NOLINT(psmr-sorted-keys) test builder constructs raw commands directly
+  c.keys[0] = k0;  // NOLINT(psmr-sorted-keys) test builder constructs raw commands directly
+  c.keys[1] = k1;  // NOLINT(psmr-sorted-keys) test builder constructs raw commands directly
   return c;
 }
 

@@ -252,7 +252,7 @@ class TreiberStack {
   }
 
   void push(int value) {
-    auto* node = new Node{value, head_.load(std::memory_order_relaxed)};
+    auto* node = new Node{value, head_.load(std::memory_order_relaxed)};  // NOLINT(psmr-relaxed-order-audit) CAS loop re-validates; the success CAS orders
     while (!head_.compare_exchange_weak(node->next, node,
                                         std::memory_order_seq_cst)) {
     }

@@ -1,0 +1,50 @@
+// psmr-blocking-under-lock: flags blocking calls made while a scope lock
+// guard is live in an enclosing scope.
+//
+// Blocking on a semaphore, a queue pop, or a socket syscall while holding a
+// mutex serializes every thread that contends the mutex for the duration of
+// the block, and composes into deadlock when the unblocking party needs the
+// same mutex. The lint walks lexically: a call is "under a lock" when a
+// guard object (MutexLock / std::lock_guard / unique_lock / scoped_lock)
+// is declared earlier in any enclosing block of the same function.
+//
+// Condition-variable waits are special-cased: waiting with exactly the one
+// guard the CV atomically releases is the normal monitor pattern; a wait
+// with two or more live guards still blocks on the outer one and is
+// flagged.
+#ifndef PSMR_TOOLS_LINT_BLOCKING_UNDER_LOCK_CHECK_H
+#define PSMR_TOOLS_LINT_BLOCKING_UNDER_LOCK_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+class BlockingUnderLockCheck : public ClangTidyCheck {
+ public:
+  BlockingUnderLockCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  // CheckOptions:
+  //   .BlockingMethods   — qualified member functions that block.
+  //   .BlockingFunctions — free functions / syscalls that block.
+  //   .GuardTypes        — scope-guard class names (sans template args).
+  //   .AllowedFiles      — the blocking primitives' own implementations.
+  std::vector<std::string> BlockingMethods;
+  std::vector<std::string> BlockingFunctions;
+  std::vector<std::string> GuardTypes;
+  std::vector<std::string> AllowedFiles;
+};
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // PSMR_TOOLS_LINT_BLOCKING_UNDER_LOCK_CHECK_H

@@ -1,0 +1,43 @@
+// psmr-guarded-by-coverage: a class that owns a mutex must say, per field,
+// what that mutex protects.
+//
+// When a record has a mutex-like member, every other data member is either
+// atomic, itself a synchronization primitive, const, or annotated with
+// GUARDED_BY/PT_GUARDED_BY. An unannotated plain field next to a mutex is
+// how TSA coverage silently decays: the analysis passes vacuously because
+// nothing ties the field to the lock. Fields protected by something other
+// than a mutex (thread confinement, init-before-share) carry a NOLINT
+// naming that discipline.
+#ifndef PSMR_TOOLS_LINT_GUARDED_BY_COVERAGE_CHECK_H
+#define PSMR_TOOLS_LINT_GUARDED_BY_COVERAGE_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+class GuardedByCoverageCheck : public ClangTidyCheck {
+ public:
+  GuardedByCoverageCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  // CheckOptions:
+  //   .MutexTypes    — class names that count as "owning a lock".
+  //   .SelfSyncTypes — member types that synchronize internally and need
+  //                    no annotation (semaphores, queues, metrics...).
+  std::vector<std::string> MutexTypes;
+  std::vector<std::string> SelfSyncTypes;
+};
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // PSMR_TOOLS_LINT_GUARDED_BY_COVERAGE_CHECK_H

@@ -1,0 +1,69 @@
+// Shared helpers for the psmr-tidy checks: option-list parsing and
+// path-allowlist matching.
+//
+// Every check that sanctions specific files takes a semicolon-separated
+// list of path *substrings* (CheckOptions key documented per check). A
+// diagnostic location is allowlisted when its presumed file path, with
+// backslashes normalized, contains any of the substrings — coarse on
+// purpose: the lists name directories ("src/app/") or single files
+// ("src/codec/command_codec.cc") and must keep working from any build
+// directory layout.
+#ifndef PSMR_TOOLS_LINT_PSMR_LINT_UTILS_H
+#define PSMR_TOOLS_LINT_PSMR_LINT_UTILS_H
+
+#include <string>
+#include <vector>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+// Splits a semicolon-separated option value into trimmed, non-empty parts.
+inline std::vector<std::string> splitList(llvm::StringRef Value) {
+  std::vector<std::string> Parts;
+  while (!Value.empty()) {
+    auto Split = Value.split(';');
+    llvm::StringRef Part = Split.first.trim();
+    if (!Part.empty())
+      Parts.push_back(Part.str());
+    Value = Split.second;
+  }
+  return Parts;
+}
+
+// True when the expansion location of `Loc` lies in a file whose path
+// contains any of `Substrings`.
+inline bool locationInFiles(const SourceManager &SM, SourceLocation Loc,
+                            const std::vector<std::string> &Substrings) {
+  if (Loc.isInvalid())
+    return false;
+  std::string Path = SM.getFilename(SM.getExpansionLoc(Loc)).str();
+  for (char &C : Path)
+    if (C == '\\')
+      C = '/';
+  for (const std::string &S : Substrings)
+    if (Path.find(S) != std::string::npos)
+      return true;
+  return false;
+}
+
+// Joins parts back into the canonical stored form.
+inline std::string joinList(const std::vector<std::string> &Parts) {
+  std::string Out;
+  for (const std::string &P : Parts) {
+    if (!Out.empty())
+      Out += ';';
+    Out += P;
+  }
+  return Out;
+}
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // PSMR_TOOLS_LINT_PSMR_LINT_UTILS_H

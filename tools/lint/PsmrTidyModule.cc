@@ -1,0 +1,45 @@
+// psmr-tidy: clang-tidy plugin module compiling PSMR's concurrency and
+// determinism invariants into CI (DESIGN.md §8, "layer 4: domain lint").
+//
+// Loaded out-of-tree via `clang-tidy --load=libpsmr_tidy_module.so`, which
+// keeps the full clang-tidy driver in charge: .clang-tidy configuration,
+// CheckOptions, NOLINT/NOLINTNEXTLINE suppression and -warnings-as-errors
+// all apply to these checks exactly as to the builtin ones.
+#include "BlockingUnderLockCheck.h"
+#include "GuardedByCoverageCheck.h"
+#include "RawMutexCheck.h"
+#include "ReclaimDisciplineCheck.h"
+#include "RelaxedOrderAuditCheck.h"
+#include "SortedKeysCheck.h"
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+class PsmrTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories &CheckFactories) override {
+    CheckFactories.registerCheck<SortedKeysCheck>("psmr-sorted-keys");
+    CheckFactories.registerCheck<RawMutexCheck>("psmr-raw-mutex");
+    CheckFactories.registerCheck<ReclaimDisciplineCheck>(
+        "psmr-reclaim-discipline");
+    CheckFactories.registerCheck<RelaxedOrderAuditCheck>(
+        "psmr-relaxed-order-audit");
+    CheckFactories.registerCheck<BlockingUnderLockCheck>(
+        "psmr-blocking-under-lock");
+    CheckFactories.registerCheck<GuardedByCoverageCheck>(
+        "psmr-guarded-by-coverage");
+  }
+};
+
+}  // namespace psmr
+
+// Register at dlopen time; the "psmr-module" name only has to be unique
+// within the hosting clang-tidy process.
+static ClangTidyModuleRegistry::Add<psmr::PsmrTidyModule> PsmrTidyModuleInit(
+    "psmr-module", "Checks for PSMR concurrency/determinism invariants.");
+
+}  // namespace tidy
+}  // namespace clang

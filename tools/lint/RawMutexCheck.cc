@@ -1,0 +1,97 @@
+#include "RawMutexCheck.h"
+
+#include <algorithm>
+
+#include "PsmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/DeclTemplate.h"
+#include "clang/AST/Type.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+namespace {
+
+bool isRawPrimitiveName(const std::string &QN) {
+  static const char *kNames[] = {
+      "std::mutex",          "std::recursive_mutex",
+      "std::timed_mutex",    "std::recursive_timed_mutex",
+      "std::shared_mutex",   "std::shared_timed_mutex",
+      "std::condition_variable", "std::condition_variable_any"};
+  return std::find(std::begin(kNames), std::end(kNames), QN) !=
+         std::end(kNames);
+}
+
+// Returns the raw primitive record behind `T`, looking through arrays and
+// one level of standard containers/smart pointers (std::vector<std::mutex>
+// members are just as much a bypass as a bare member). Depth-limited so a
+// pathological nesting cannot recurse unboundedly.
+const CXXRecordDecl *primitiveBehind(ASTContext &Ctx, QualType T, int Depth) {
+  if (T.isNull() || Depth > 2)
+    return nullptr;
+  while (const ArrayType *AT = Ctx.getAsArrayType(T))
+    T = AT->getElementType();
+  const CXXRecordDecl *RD = T.getNonReferenceType()->getAsCXXRecordDecl();
+  if (RD == nullptr)
+    return nullptr;
+  const std::string QN = RD->getQualifiedNameAsString();
+  if (isRawPrimitiveName(QN))
+    return RD;
+  if (QN == "std::vector" || QN == "std::array" || QN == "std::deque" ||
+      QN == "std::list" || QN == "std::unique_ptr" ||
+      QN == "std::shared_ptr" || QN == "std::optional") {
+    if (const auto *Spec = dyn_cast<ClassTemplateSpecializationDecl>(RD)) {
+      const TemplateArgumentList &Args = Spec->getTemplateArgs();
+      if (Args.size() > 0 && Args[0].getKind() == TemplateArgument::Type)
+        return primitiveBehind(Ctx, Args[0].getAsType(), Depth + 1);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+RawMutexCheck::RawMutexCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFiles(
+          splitList(Options.get("AllowedFiles", "common/ranked_mutex.h"))) {}
+
+void RawMutexCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFiles", joinList(AllowedFiles));
+}
+
+void RawMutexCheck::registerMatchers(MatchFinder *Finder) {
+  // Classification (including the look-through into containers) happens in
+  // check(); matching every user-code field is cheap enough for a lint tier.
+  Finder->addMatcher(
+      fieldDecl(unless(isExpansionInSystemHeader())).bind("field"), this);
+}
+
+void RawMutexCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *FD = Result.Nodes.getNodeAs<FieldDecl>("field");
+  if (FD == nullptr)
+    return;
+  const CXXRecordDecl *Prim =
+      primitiveBehind(*Result.Context, FD->getType(), 0);
+  if (Prim == nullptr)
+    return;
+  if (locationInFiles(*Result.SourceManager, FD->getBeginLoc(), AllowedFiles))
+    return;
+  diag(FD->getLocation(),
+       "raw %0 member %1 — use RankedMutex/CondVar from "
+       "common/ranked_mutex.h so the lock participates in rank checking and "
+       "thread-safety analysis, or NOLINT with the reason this member must "
+       "stay outside the hierarchy")
+      << Prim->getQualifiedNameAsString() << FD->getName();
+}
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang

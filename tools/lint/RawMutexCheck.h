@@ -1,0 +1,38 @@
+// psmr-raw-mutex: flags bare std::mutex / std::condition_variable (and
+// friends) data members outside common/ranked_mutex.h.
+//
+// The repo's locking discipline lives in RankedMutex/MutexLock/CondVar
+// (lock-rank checking + TSA capability annotations, DESIGN.md §8). A raw
+// standard-library primitive as a member bypasses both layers silently.
+// Deliberate exceptions (e.g. metrics' rank-exempt mutex) carry a NOLINT
+// with the justification.
+#ifndef PSMR_TOOLS_LINT_RAW_MUTEX_CHECK_H
+#define PSMR_TOOLS_LINT_RAW_MUTEX_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+class RawMutexCheck : public ClangTidyCheck {
+ public:
+  RawMutexCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  // CheckOptions: psmr-raw-mutex.AllowedFiles — path substrings where raw
+  // primitives are expected (the ranked-mutex implementation itself).
+  std::vector<std::string> AllowedFiles;
+};
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // PSMR_TOOLS_LINT_RAW_MUTEX_CHECK_H

@@ -1,0 +1,66 @@
+#include "RelaxedOrderAuditCheck.h"
+
+#include "PsmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+namespace {
+
+constexpr char kDefaultAllowed[] =
+    "common/metrics.h;common/metrics.cc;common/spsc_ring.h;"
+    "memory/ebr.h;memory/ebr.cc";
+
+}  // namespace
+
+RelaxedOrderAuditCheck::RelaxedOrderAuditCheck(StringRef Name,
+                                               ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      AllowedFiles(splitList(Options.get("AllowedFiles", kDefaultAllowed))) {}
+
+void RelaxedOrderAuditCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "AllowedFiles", joinList(AllowedFiles));
+}
+
+void RelaxedOrderAuditCheck::registerMatchers(MatchFinder *Finder) {
+  // Depending on the standard-library mode, std::memory_order_relaxed is an
+  // enumerator (pre-C++20 libstdc++) or an inline constexpr variable
+  // aliasing std::memory_order::relaxed (C++20). Match any reference to
+  // either name; the scoped-enum enumerator covers explicit
+  // std::memory_order::relaxed spellings too.
+  Finder->addMatcher(
+      declRefExpr(to(namedDecl(hasAnyName("::std::memory_order_relaxed",
+                                          "::std::memory_order::relaxed"))))
+          .bind("ref"),
+      this);
+}
+
+void RelaxedOrderAuditCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *Ref = Result.Nodes.getNodeAs<DeclRefExpr>("ref");
+  if (Ref == nullptr)
+    return;
+  const SourceLocation Loc = Ref->getBeginLoc();
+  // References inside system headers (libstdc++'s own atomic internals
+  // forward the order) are not user code.
+  if (Result.SourceManager->isInSystemHeader(
+          Result.SourceManager->getExpansionLoc(Loc)))
+    return;
+  if (locationInFiles(*Result.SourceManager, Loc, AllowedFiles))
+    return;
+  diag(Loc,
+       "explicit memory_order_relaxed outside the audited allowlist — "
+       "justify it with a NOLINT comment naming the invariant that makes "
+       "relaxed safe (pure statistic, single-writer, re-validated), or use "
+       "a stronger ordering");
+}
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang

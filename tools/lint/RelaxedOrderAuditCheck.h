@@ -1,0 +1,38 @@
+// psmr-relaxed-order-audit: flags explicit std::memory_order_relaxed
+// outside a small audited allowlist.
+//
+// Relaxed atomics are correct only under a named invariant (pure statistic,
+// single-writer counter, value re-validated under a stronger fence). The
+// audited files — metrics, the EBR epoch machinery, SpscRing's cached
+// indices — document those invariants in place; everywhere else a relaxed
+// access needs a NOLINT naming the invariant, or a stronger order.
+#ifndef PSMR_TOOLS_LINT_RELAXED_ORDER_AUDIT_CHECK_H
+#define PSMR_TOOLS_LINT_RELAXED_ORDER_AUDIT_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+class RelaxedOrderAuditCheck : public ClangTidyCheck {
+ public:
+  RelaxedOrderAuditCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  // CheckOptions: psmr-relaxed-order-audit.AllowedFiles — files whose
+  // relaxed accesses are audited as a set, in place.
+  std::vector<std::string> AllowedFiles;
+};
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // PSMR_TOOLS_LINT_RELAXED_ORDER_AUDIT_CHECK_H

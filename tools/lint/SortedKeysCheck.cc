@@ -1,0 +1,97 @@
+#include "SortedKeysCheck.h"
+
+#include "PsmrLintUtils.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/ExprCXX.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+namespace {
+
+constexpr char kDefaultSanctioned[] = "src/app/;src/codec/;src/workload/";
+
+// True when `ME` names a field of psmr::Command. The matcher below only
+// constrains the field *name*; the owning record is verified here so that
+// unrelated structs with a `keys` member do not trip the check.
+bool isCommandKeyField(const MemberExpr *ME) {
+  const auto *FD = dyn_cast<FieldDecl>(ME->getMemberDecl());
+  if (FD == nullptr)
+    return false;
+  const auto *RD = dyn_cast<CXXRecordDecl>(FD->getParent());
+  return RD != nullptr && RD->getQualifiedNameAsString() == "psmr::Command";
+}
+
+}  // namespace
+
+SortedKeysCheck::SortedKeysCheck(StringRef Name, ClangTidyContext *Context)
+    : ClangTidyCheck(Name, Context),
+      SanctionedFiles(
+          splitList(Options.get("SanctionedFiles", kDefaultSanctioned))) {}
+
+void SortedKeysCheck::storeOptions(ClangTidyOptions::OptionMap &Opts) {
+  Options.store(Opts, "SanctionedFiles", joinList(SanctionedFiles));
+}
+
+void SortedKeysCheck::registerMatchers(MatchFinder *Finder) {
+  auto NKeys = memberExpr(member(fieldDecl(hasName("nkeys")))).bind("member");
+  auto KeysElem = anyOf(
+      // keys[i] on a C array / raw pointer.
+      arraySubscriptExpr(hasBase(ignoringParenImpCasts(
+          memberExpr(member(fieldDecl(hasName("keys")))).bind("member")))),
+      // keys[i] via std::array::operator[].
+      cxxOperatorCallExpr(
+          hasOverloadedOperatorName("[]"),
+          hasArgument(0, ignoringParenImpCasts(
+                             memberExpr(member(fieldDecl(hasName("keys"))))
+                                 .bind("member")))));
+
+  // nkeys = ..., nkeys += ..., keys[i] = ... (plain and compound).
+  Finder->addMatcher(
+      binaryOperator(isAssignmentOperator(),
+                     hasLHS(ignoringParenImpCasts(anyOf(NKeys, KeysElem))))
+          .bind("write"),
+      this);
+  // ++nkeys / nkeys-- style mutation.
+  Finder->addMatcher(
+      unaryOperator(hasAnyOperatorName("++", "--"),
+                    hasUnaryOperand(ignoringParenImpCasts(NKeys)))
+          .bind("write"),
+      this);
+  // Mutating member calls on the array itself: c.keys.fill(...), swap(...).
+  Finder->addMatcher(
+      cxxMemberCallExpr(
+          callee(cxxMethodDecl(hasAnyName("fill", "swap"))),
+          on(ignoringParenImpCasts(
+              memberExpr(member(fieldDecl(hasName("keys")))).bind("member"))))
+          .bind("write"),
+      this);
+}
+
+void SortedKeysCheck::check(const MatchFinder::MatchResult &Result) {
+  const auto *ME = Result.Nodes.getNodeAs<MemberExpr>("member");
+  const auto *Write = Result.Nodes.getNodeAs<Expr>("write");
+  if (ME == nullptr || Write == nullptr || !isCommandKeyField(ME))
+    return;
+  if (locationInFiles(*Result.SourceManager, Write->getBeginLoc(),
+                      SanctionedFiles))
+    return;
+  diag(Write->getBeginLoc(),
+       "write to psmr::Command::%0 outside a sanctioned builder — the "
+       "sorted-keys invariant (command.h) must hold before the command is "
+       "published; build through a service builder or the codec, sort before "
+       "publishing, or NOLINT with the re-establishing step named")
+      << cast<FieldDecl>(ME->getMemberDecl())->getName();
+}
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang

@@ -1,0 +1,39 @@
+// psmr-sorted-keys: flags writes to psmr::Command's key-set fields
+// (`keys`, `nkeys`) outside the sanctioned builder/codec paths.
+//
+// The whole pipeline — dep_tracker's sorted-merge conflict walk, the COS
+// insert path, the early scheduler — assumes keys[0..nkeys) is sorted
+// ascending (see command.h). Any code that writes those fields must either
+// live in a sanctioned file (the service builders, the codec decode path,
+// workload generators) or carry a NOLINT with the justification for why the
+// invariant is re-established before the command is published.
+#ifndef PSMR_TOOLS_LINT_SORTED_KEYS_CHECK_H
+#define PSMR_TOOLS_LINT_SORTED_KEYS_CHECK_H
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang {
+namespace tidy {
+namespace psmr {
+
+class SortedKeysCheck : public ClangTidyCheck {
+ public:
+  SortedKeysCheck(StringRef Name, ClangTidyContext *Context);
+  void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult &Result) override;
+  void storeOptions(ClangTidyOptions::OptionMap &Opts) override;
+
+ private:
+  // CheckOptions: psmr-sorted-keys.SanctionedFiles — path substrings where
+  // key-set writes are allowed (builders and the decode trust boundary).
+  std::vector<std::string> SanctionedFiles;
+};
+
+}  // namespace psmr
+}  // namespace tidy
+}  // namespace clang
+
+#endif  // PSMR_TOOLS_LINT_SORTED_KEYS_CHECK_H

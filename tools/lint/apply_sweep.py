@@ -1,0 +1,208 @@
+#!/usr/bin/env python3
+"""One-shot sweep applying NOLINT justifications + guarded-by fixes for
+psmr-tidy. Kept in-tree for archaeology; safe to re-run (idempotent)."""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parents[2]
+ALLOWLIST = ("common/metrics", "common/spsc_ring", "memory/ebr", "tools/lint")
+
+# ---- psmr-relaxed-order-audit: classify every site, append a justification.
+RULES = [
+    (r"single_remover_", "debug-mode hint; set before sharing"),
+    (r"debug_retirer_", "debug identity check; RMW atomicity suffices"),
+    (r"high_water_", "stat high-water mark"),
+    (r"delivered_|dropped_|completed|executed_|state_transfers_"
+     r"|population_samples|population_sum|total_freed_", "stat counter"),
+    (r"population_\.|queued_\.", "approximate occupancy gauge"),
+    (r"dead_segments_|rmd_pending_",
+     "sweep-trigger heuristic; threshold is approximate"),
+    (r"stop\.|stop_\.|closed_\.|running_\.|crashed|endpoint_removed_",
+     "control flag; re-checked in loop or fenced by joins/locks"),
+    (r"next_consumer_", "round-robin assignment; any order acceptable"),
+    (r"claimed\.fetch_add", "atomic ticket; RMW uniqueness is all that matters"),
+    (r"counter\.fetch_add|counter\.load|c\.value\.load|total \+=|t \+=",
+     "stat counter"),
+    (r"dep_me|dep_on|bigger\[|arr\[|dependent",
+     "remover-side edge maintenance; publication ordered by the insert CAS"),
+    (r"head_\.load", "CAS loop re-validates; the success CAS orders"),
+    (r"tail_\.load", "shortcut hint; re-validated under the node locks"),
+]
+OVERRIDES = {
+    ("src/cos/early_sched.cc", 15): "monotonic id; uniqueness from RMW",
+    ("src/cos/lock_free.cc", 10): "destructor; node unreachable by now",
+}
+
+
+def classify(path, lineno, line, prev):
+    key = OVERRIDES.get((path, lineno))
+    if key:
+        return key
+    for pat, reason in RULES:
+        if re.search(pat, line):
+            return reason
+    for pat, reason in RULES:
+        if re.search(pat, prev + line):
+            return reason
+    return None
+
+
+def sweep_relaxed():
+    unmatched = []
+    for path in sorted(ROOT.glob("**/*.cc")) + sorted(ROOT.glob("**/*.h")):
+        rel = path.relative_to(ROOT).as_posix()
+        if not rel.startswith(("src/", "tests/", "bench/", "tools/")):
+            continue
+        if any(a in rel for a in ALLOWLIST):
+            continue
+        lines = path.read_text().splitlines(keepends=False)
+        changed = False
+        for i, line in enumerate(lines):
+            if "memory_order_relaxed" not in line or "NOLINT" in line:
+                continue
+            reason = classify(rel, i + 1, line, lines[i - 1] if i else "")
+            if reason is None:
+                unmatched.append(f"{rel}:{i + 1}: {line.strip()}")
+                continue
+            lines[i] = f"{line}  // NOLINT(psmr-relaxed-order-audit) {reason}"
+            changed = True
+        if changed:
+            path.write_text("\n".join(lines) + "\n")
+    if unmatched:
+        sys.exit("unclassified relaxed sites:\n" + "\n".join(unmatched))
+
+
+# ---- Explicit NOLINT table: (file, line, must-contain, check, reason).
+EXPLICIT = [
+    ("src/common/metrics.h", 145, "std::mutex mu_;", "psmr-raw-mutex",
+     "leaf lock below the rank hierarchy; metrics are callable under any lock"),
+    ("src/common/metrics.h", 165, "std::mutex mu_;", "psmr-raw-mutex",
+     "leaf lock below the rank hierarchy; metrics are callable under any lock"),
+    ("src/net/tcp_transport.h", 207, "std::mutex dispatch_mu_;",
+     "psmr-raw-mutex", "deliberately unranked; see the gate comment above"),
+    ("tests/transport_conformance_test.cc", 147, "std::mutex mu;",
+     "psmr-raw-mutex", "test-local inbox; lifetime confined to the fixture"),
+    ("tests/broadcast_test.cc", 95, "std::vector<std::mutex> mus_;",
+     "psmr-raw-mutex", "test harness; independent per-slot locks, no nesting"),
+    ("src/net/tcp_transport.cc", 534, "epoll_wait(", "psmr-blocking-under-lock",
+     "lock released across the wait (unlock/lock pair)"),
+    ("src/net/tcp_transport.cc", 582, "epoll_wait(", "psmr-blocking-under-lock",
+     "lock released across the wait (unlock/lock pair)"),
+    # guarded-by-coverage: fields with a documented non-lock protocol.
+    ("src/common/metrics.h", 146, "Histogram hist_;",
+     "psmr-guarded-by-coverage", "all access through record(), under mu_"),
+    ("src/common/metrics.h", 166, "counters_;", "psmr-guarded-by-coverage",
+     "guarded by mu_; node stability lets callers hold refs lock-free"),
+    ("src/common/metrics.h", 167, "gauges_;", "psmr-guarded-by-coverage",
+     "guarded by mu_; node stability lets callers hold refs lock-free"),
+    ("src/common/metrics.h", 169, "histograms_;", "psmr-guarded-by-coverage",
+     "guarded by mu_; node stability lets callers hold refs lock-free"),
+    ("src/common/semaphore.h", 108, "Counter* blocks_metric_",
+     "psmr-guarded-by-coverage", "set once via instrument() before sharing"),
+    ("src/common/semaphore.h", 109, "Counter* blocked_ns_metric_",
+     "psmr-guarded-by-coverage", "set once via instrument() before sharing"),
+    ("src/net/tcp_transport.h", 180, "Handler handler_;",
+     "psmr-guarded-by-coverage", "set once in start(), const thereafter"),
+    ("src/net/tcp_transport.h", 190, "int epoll_fd_",
+     "psmr-guarded-by-coverage", "owned by the I/O thread after start()"),
+    ("src/net/tcp_transport.h", 191, "int listen_fd_",
+     "psmr-guarded-by-coverage", "owned by the I/O thread after start()"),
+    ("src/net/tcp_transport.h", 192, "int wake_fd_",
+     "psmr-guarded-by-coverage",
+     "set in start(); benign shutdown race documented above"),
+    ("src/smr/replica.h", 145, "std::unique_ptr<Service> service_;",
+     "psmr-guarded-by-coverage", "set in ctor, before any thread starts"),
+    ("src/smr/replica.h", 146, "NodeId endpoint_",
+     "psmr-guarded-by-coverage", "written in connect() before threads start"),
+    ("src/smr/replica.h", 152, "broadcast_owner_;",
+     "psmr-guarded-by-coverage",
+     "ownership only; access goes through the atomic broadcast_"),
+    ("src/smr/replica.h", 156, "std::unique_ptr<Cos> cos_;",
+     "psmr-guarded-by-coverage",
+     "created in connect() before worker threads start"),
+    ("src/smr/replica.h", 158, "workers_;", "psmr-guarded-by-coverage",
+     "created/joined by the owner thread only"),
+    ("src/smr/replica.h", 173, "scheduled_count_",
+     "psmr-guarded-by-coverage", "scheduler thread only"),
+    ("src/smr/replica.h", 176, "next_command_id_",
+     "psmr-guarded-by-coverage", "scheduler thread only"),
+    ("src/smr/replica.h", 177, "last_processed_seq_",
+     "psmr-guarded-by-coverage", "scheduler thread only"),
+    ("tests/transport_conformance_test.cc", 148, "by_sender;",
+     "psmr-guarded-by-coverage", "guarded by mu (test-local)"),
+    # sorted-keys: tests that build raw commands on purpose.
+    ("tests/early_sched_test.cc", 48, "c.nkeys = nkeys;", "psmr-sorted-keys",
+     "test builder constructs raw commands directly"),
+    ("tests/early_sched_test.cc", 49, "c.keys[0] = k0;", "psmr-sorted-keys",
+     "test builder constructs raw commands directly"),
+    ("tests/early_sched_test.cc", 50, "c.keys[1] = k1;", "psmr-sorted-keys",
+     "test builder constructs raw commands directly"),
+    ("tests/dep_tracker_test.cc", 199, "c.nkeys = nkeys;", "psmr-sorted-keys",
+     "test builder constructs raw commands directly"),
+    ("tests/dep_tracker_test.cc", 200, "c.keys[0] = k0;", "psmr-sorted-keys",
+     "test builder constructs raw commands directly"),
+    ("tests/dep_tracker_test.cc", 201, "c.keys[1] = k1;", "psmr-sorted-keys",
+     "test builder constructs raw commands directly"),
+    ("tests/codec_test.cc", 334, "c.nkeys = 2;", "psmr-sorted-keys",
+     "hand-built command for byte-exact golden encoding"),
+    ("tests/codec_test.cc", 335, "c.keys[0] = 5;", "psmr-sorted-keys",
+     "hand-built command for byte-exact golden encoding"),
+    ("tests/codec_test.cc", 336, "c.keys[1] = 300;", "psmr-sorted-keys",
+     "hand-built command for byte-exact golden encoding"),
+    ("tests/codec_test.cc", 358, "c.nkeys = 1;", "psmr-sorted-keys",
+     "hand-built command for byte-exact golden encoding"),
+    ("tests/codec_test.cc", 359, "c.keys[0] = 4;", "psmr-sorted-keys",
+     "hand-built command for byte-exact golden encoding"),
+    ("tests/codec_test.cc", 360, "c.keys[1] = 300;", "psmr-sorted-keys",
+     "hand-built command for byte-exact golden encoding"),
+]
+
+# ---- In-place replacements (guarded-by fix: reference-only metrics structs
+# are immutable after construction — const removes the coverage obligation).
+REPLACEMENTS = [
+    ("src/net/sim_network.h", 150, "  Metrics metrics_;",
+     "  const Metrics metrics_;"),
+    ("src/net/tcp_transport.h", 212, "  Metrics metrics_;",
+     "  const Metrics metrics_;"),
+    ("src/smr/client.h", 105, "  Metrics metrics_;",
+     "  const Metrics metrics_;"),
+    ("src/smr/replica.h", 179, "  Metrics metrics_;",
+     "  const Metrics metrics_;"),
+    ("src/broadcast/sequenced_broadcast.h", 197, "  Metrics metrics_;",
+     "  const Metrics metrics_;"),
+    ("tests/codec_test.cc", 414, "// NOLINT(psmr-sorted-keys)",
+     "// NOLINT(psmr-sorted-keys) fuzz feeds unsorted keys on purpose"),
+    ("tests/codec_test.cc", 416, "// NOLINT(psmr-sorted-keys)",
+     "// NOLINT(psmr-sorted-keys) fuzz feeds unsorted keys on purpose"),
+]
+
+
+def patch_line(rel, lineno, expect, mutate):
+    path = ROOT / rel
+    lines = path.read_text().splitlines(keepends=False)
+    line = lines[lineno - 1]
+    if expect not in line:
+        sys.exit(f"{rel}:{lineno}: expected {expect!r}, found {line!r}")
+    new = mutate(line)
+    if new != line:
+        lines[lineno - 1] = new
+        path.write_text("\n".join(lines) + "\n")
+
+
+def main():
+    sweep_relaxed()
+    for rel, lineno, expect, check, reason in EXPLICIT:
+        patch_line(
+            rel, lineno, expect,
+            lambda l, c=check, r=reason:
+                l if "NOLINT" in l else f"{l}  // NOLINT({c}) {r}")
+    for rel, lineno, old, new in REPLACEMENTS:
+        patch_line(
+            rel, lineno, old,
+            lambda l, o=old, n=new: l.replace(o, n) if n not in l else l)
+    print("sweep applied")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+// Fixture for psmr-blocking-under-lock: must produce zero diagnostics.
+namespace std {
+class mutex {};
+template <class M>
+class lock_guard {
+ public:
+  explicit lock_guard(M &);
+};
+}  // namespace std
+
+namespace psmr {
+class Semaphore {
+ public:
+  void acquire();
+  void release();
+};
+class CondVar {
+ public:
+  void wait();
+};
+}  // namespace psmr
+
+extern "C" int recv(int, void *, unsigned long, int);
+
+// Blocking with no lock held is the normal case.
+void plain_wait(psmr::Semaphore &s) { s.acquire(); }
+
+// Non-blocking work under a lock is fine.
+void release_under_lock(std::mutex &m, psmr::Semaphore &s) {
+  std::lock_guard<std::mutex> g(m);
+  s.release();
+}
+
+// A guard in an inner block is dead by the time the call runs.
+void lock_then_drop_then_block(std::mutex &m, int fd, char *buf) {
+  {
+    std::lock_guard<std::mutex> g(m);
+  }
+  recv(fd, buf, 16, 0);
+}
+
+// One guard + CV wait is the monitor pattern the CV releases atomically.
+void monitor_wait(std::mutex &m, psmr::CondVar &cv) {
+  std::lock_guard<std::mutex> g(m);
+  cv.wait();
+}

@@ -1,0 +1,43 @@
+// Fixture for psmr-blocking-under-lock: must produce at least one
+// diagnostic. Stubs for the guard types and blocking primitives the check
+// recognizes by qualified name.
+namespace std {
+class mutex {};
+template <class M>
+class lock_guard {
+ public:
+  explicit lock_guard(M &);
+};
+}  // namespace std
+
+namespace psmr {
+class Semaphore {
+ public:
+  void acquire();
+  void release();
+};
+class CondVar {
+ public:
+  void wait();
+};
+}  // namespace psmr
+
+extern "C" int recv(int, void *, unsigned long, int);
+
+void semaphore_under_lock(std::mutex &m, psmr::Semaphore &s) {
+  std::lock_guard<std::mutex> g(m);
+  s.acquire();  // flagged: semaphore wait with a mutex held
+}
+
+void syscall_under_nested_lock(std::mutex &m, int fd, char *buf) {
+  std::lock_guard<std::mutex> g(m);
+  {
+    recv(fd, buf, 16, 0);  // flagged: guard lives in an enclosing block
+  }
+}
+
+void cv_wait_with_two_guards(std::mutex &a, std::mutex &b, psmr::CondVar &cv) {
+  std::lock_guard<std::mutex> outer(a);
+  std::lock_guard<std::mutex> inner(b);
+  cv.wait();  // flagged: the wait releases one lock but still holds the other
+}

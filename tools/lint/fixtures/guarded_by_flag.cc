@@ -1,0 +1,22 @@
+// Fixture for psmr-guarded-by-coverage: must produce at least one
+// diagnostic.
+namespace std {
+class mutex {};
+template <class T>
+class atomic {};
+}  // namespace std
+
+#define GUARDED_BY(m) __attribute__((guarded_by(m)))
+
+namespace psmr {
+
+// flagged: `backlog_` and `name_` sit next to a mutex with no annotation
+// and no atomicity — nothing ties them to the lock.
+class Dispatcher {
+  std::mutex mu_;
+  int inflight_ GUARDED_BY(mu_);
+  int backlog_;
+  const char *name_;
+};
+
+}  // namespace psmr

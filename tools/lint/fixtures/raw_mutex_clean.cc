@@ -1,0 +1,25 @@
+// Fixture for psmr-raw-mutex: must produce zero diagnostics.
+namespace std {
+class mutex {};
+}  // namespace std
+
+namespace psmr {
+
+// The ranked wrapper (what real code should hold) is not a raw primitive.
+template <int Rank>
+class PlainRankedMutex {
+  std::mutex mu_;  // NOLINT(psmr-raw-mutex) this IS the sanctioned wrapper
+};
+
+class Scheduler {
+  PlainRankedMutex<100> mu_;
+  int pending_ = 0;
+};
+
+// Locals and parameters are not members; only fields are policed.
+void with_local() {
+  std::mutex scratch;
+  (void)scratch;
+}
+
+}  // namespace psmr

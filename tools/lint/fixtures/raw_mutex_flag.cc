@@ -1,0 +1,31 @@
+// Fixture for psmr-raw-mutex: must produce at least one diagnostic.
+// Stub std synchronization primitives; the check matches by qualified name.
+namespace std {
+class mutex {};
+class shared_mutex {};
+class condition_variable {};
+template <class T>
+class vector {};
+}  // namespace std
+
+namespace psmr {
+
+// flagged: raw primitives as members, outside common/ranked_mutex.h
+class Registry {
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int entries_ = 0;
+};
+
+struct Cache {
+  std::shared_mutex lock;
+};
+
+// flagged: arrays and standard containers of raw primitives are the same
+// bypass as a bare member — the check looks through one wrapper level.
+struct Pool {
+  std::mutex banks[4];
+  std::vector<std::mutex> slots;
+};
+
+}  // namespace psmr

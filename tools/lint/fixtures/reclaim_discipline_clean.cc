@@ -1,0 +1,24 @@
+// Fixture for psmr-reclaim-discipline: must produce zero diagnostics.
+namespace psmr {
+class LockFreeCos {
+ public:
+  struct Node {
+    unsigned long key;
+    Node *next;
+  };
+};
+}  // namespace psmr
+
+// Types outside the managed set allocate freely.
+struct Widget {
+  int x;
+};
+Widget *make_widget() { return new Widget{1}; }
+void drop_widget(Widget *w) { delete w; }
+
+// Holding or traversing node pointers without owning their lifetime is fine.
+unsigned long sum_keys(const psmr::LockFreeCos::Node *head) {
+  unsigned long total = 0;
+  for (const auto *n = head; n != nullptr; n = n->next) total += n->key;
+  return total;
+}

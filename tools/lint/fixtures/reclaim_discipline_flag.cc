@@ -1,0 +1,32 @@
+// Fixture for psmr-reclaim-discipline: must produce at least one
+// diagnostic. Stub the COS node types the option list names by default.
+namespace psmr {
+class LockFreeCos {
+ public:
+  struct Node {
+    unsigned long key;
+    Node *next;
+  };
+};
+class StripedCos {
+ public:
+  struct Segment {
+    int used;
+  };
+};
+}  // namespace psmr
+
+// This file is not one of the owning COS implementations, so direct
+// allocation and freeing of node types must be flagged.
+psmr::LockFreeCos::Node *steal_a_node() {
+  return new psmr::LockFreeCos::Node{0, nullptr};  // flagged
+}
+
+void drop_a_node(psmr::LockFreeCos::Node *n) {
+  delete n;  // flagged: bypasses the EBR retire path
+}
+
+void churn_segment() {
+  auto *s = new psmr::StripedCos::Segment{};  // flagged
+  delete s;                                   // flagged
+}

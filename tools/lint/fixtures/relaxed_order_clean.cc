@@ -1,0 +1,12 @@
+// Fixture for psmr-relaxed-order-audit: must produce zero diagnostics.
+namespace std {
+enum memory_order { memory_order_relaxed, memory_order_seq_cst };
+}  // namespace std
+
+// Stronger orderings pass without comment.
+std::memory_order pick_order() { return std::memory_order_seq_cst; }
+
+// A justified relaxed access is suppressed the standard way.
+std::memory_order stat_order() {
+  return std::memory_order_relaxed;  // NOLINT(psmr-relaxed-order-audit) stat counter, no ordering needed
+}

@@ -1,0 +1,12 @@
+// Fixture for psmr-relaxed-order-audit: must produce at least one
+// diagnostic. Stub the pre-C++20 enum spelling; the check also recognizes
+// the C++20 inline-variable spelling by qualified name.
+namespace std {
+enum memory_order { memory_order_relaxed, memory_order_seq_cst };
+}  // namespace std
+
+// This file is not on the audited allowlist, so the bare relaxed reference
+// must be flagged.
+std::memory_order pick_order() {
+  return std::memory_order_relaxed;  // flagged
+}

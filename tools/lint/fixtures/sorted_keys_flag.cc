@@ -1,0 +1,24 @@
+// Fixture for psmr-sorted-keys: must produce at least one diagnostic.
+// Self-contained stub mirroring the real psmr::Command field layout.
+namespace psmr {
+struct Command {
+  unsigned long keys[4];
+  unsigned nkeys;
+  unsigned arg;
+};
+}  // namespace psmr
+
+// This file is not on the SanctionedFiles list, so every key-set write
+// below must be flagged.
+psmr::Command make_bad(unsigned long a, unsigned long b) {
+  psmr::Command c{};
+  c.keys[0] = b;  // flagged: raw keys write outside a builder
+  c.keys[1] = a;  // flagged: and in descending order, at that
+  c.nkeys = 2;    // flagged: nkeys write outside a builder
+  return c;
+}
+
+void grow(psmr::Command &c, unsigned long k) {
+  c.keys[c.nkeys] = k;  // flagged
+  ++c.nkeys;            // flagged: increment is a write too
+}

@@ -1,0 +1,65 @@
+# Runs one psmr-tidy check over one fixture file and asserts the expected
+# outcome. Invoked by ctest (see CMakeLists.txt in this directory):
+#
+#   cmake -DCLANG_TIDY=... -DPLUGIN=<libpsmr_tidy_module.so> \
+#         -DCHECK=psmr-<name> -DSRC=<fixture.cc> -DEXPECT=flag|clean \
+#         -P run_fixture.cmake
+#
+# EXPECT=flag  -> the fixture must produce at least one [psmr-<name>] hit.
+# EXPECT=clean -> the fixture must produce none and clang-tidy must exit 0.
+# Either way the fixture has to actually compile (see the
+# clang-diagnostic-error gate below).
+
+foreach(_v CLANG_TIDY PLUGIN CHECK SRC EXPECT)
+  if(NOT DEFINED ${_v})
+    message(FATAL_ERROR "run_fixture.cmake: missing -D${_v}")
+  endif()
+endforeach()
+
+# --warnings-as-errors=-* pins the exit-code contract even if the repo
+# .clang-tidy ever promotes psmr-* to errors: fixture outcomes are judged
+# on diagnostics, not exit codes (except the clean-fixture rc==0 gate).
+execute_process(
+  COMMAND ${CLANG_TIDY}
+    --load=${PLUGIN}
+    --checks=-*,${CHECK}
+    --warnings-as-errors=-*
+    --quiet
+    ${SRC}
+    --
+    -std=c++20
+  OUTPUT_VARIABLE _out
+  ERROR_VARIABLE _err
+  RESULT_VARIABLE _rc)
+
+set(_all "${_out}\n${_err}")
+
+# Compiler errors surface as [clang-diagnostic-error]; a fixture that does
+# not parse would make every matcher vacuously quiet.
+string(FIND "${_all}" "clang-diagnostic-error" _compile_error)
+if(NOT _compile_error EQUAL -1)
+  message(FATAL_ERROR
+    "fixture ${SRC} did not compile under ${CLANG_TIDY}:\n${_all}")
+endif()
+
+string(FIND "${_all}" "[${CHECK}]" _hit)
+
+if(EXPECT STREQUAL "flag")
+  if(_hit EQUAL -1)
+    message(FATAL_ERROR
+      "check ${CHECK} produced NO diagnostic on ${SRC} — the check has "
+      "stopped matching its target pattern.\nclang-tidy output:\n${_all}")
+  endif()
+elseif(EXPECT STREQUAL "clean")
+  if(NOT _hit EQUAL -1)
+    message(FATAL_ERROR
+      "check ${CHECK} fired on the clean fixture ${SRC} — it overfires or "
+      "no longer honors NOLINT.\nclang-tidy output:\n${_all}")
+  endif()
+  if(NOT _rc EQUAL 0)
+    message(FATAL_ERROR
+      "clang-tidy exited ${_rc} on clean fixture ${SRC}:\n${_all}")
+  endif()
+else()
+  message(FATAL_ERROR "run_fixture.cmake: EXPECT must be flag or clean")
+endif()

@@ -87,7 +87,7 @@ class MetricsDumper {
 
   void stop() {  // idempotent: the destructor calls it too
     if (interval_ms_ == 0) return;
-    if (stop_.exchange(true, std::memory_order_relaxed)) return;
+    if (stop_.exchange(true, std::memory_order_relaxed)) return;  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
     if (thread_.joinable()) thread_.join();
     dump();  // final snapshot so short runs still produce one
   }
@@ -105,7 +105,7 @@ class MetricsDumper {
  private:
   void loop() {
     std::uint64_t next = psmr::now_ns() + interval_ms_ * 1'000'000ull;
-    while (!stop_.load(std::memory_order_relaxed)) {
+    while (!stop_.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; re-checked in loop or fenced by joins/locks
       // Poll in short slices so stop() is prompt even for long intervals.
       std::this_thread::sleep_for(std::chrono::milliseconds(10));
       if (psmr::now_ns() < next) continue;
