@@ -1,0 +1,146 @@
+// Ablation: parallel dependency insertion (sharded key index, pooled
+// inserter threads) vs the serial indexed insert pipeline.
+//
+// Sweeps inserter-thread count x Zipf skew on a keyed KV workload
+// (keyset_rw_conflict) and reports insert-path throughput: batches are
+// pushed through insert_batch() exactly as the replica scheduler delivers
+// them, then drained single-threaded so only the fill phases are timed —
+// the same protocol ablation_index uses. The serial baseline is the
+// coarse-grained indexed COS, i.e. the single-inserter pipeline the
+// parallel-insert policy replaces (ROADMAP item 1: with O(k) probes the
+// insert *thread* is the remaining ceiling). Skew matters twice: hot keys
+// concentrate probe work in few shards (static shard->thread assignment
+// balances worse) and produce more real edges (work both paths share).
+//
+// Series:
+//   insert/serial-indexed/theta=<t>      x=1        y=Minserts/s
+//   insert/pinsert/theta=<t>             x=threads  y=Minserts/s
+//   speedup/pinsert-vs-serial/theta=<t>  x=threads  y=pinsert/serial
+//
+// The speedup series are gated by CI against BENCH_cos.json (--compare;
+// the gate is one-sided, so a committed floor from a small host does not
+// fail faster machines). Note the parallel path can only win when probe
+// threads actually run in parallel: on a single-core host the pipeline
+// overhead makes speedup < 1 at every thread count, and the committed
+// baseline records exactly that floor (EXPERIMENTS.md).
+
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "app/kv_service.h"
+#include "bench_util.h"
+#include "cos/factory.h"
+#include "workload/generator.h"
+
+namespace {
+
+using psmr::Command;
+using psmr::Cos;
+
+constexpr std::uint64_t kKeySpace = 16384;
+constexpr double kWritePct = 20.0;
+constexpr std::size_t kWindow = 8192;
+// Commands handed to insert_batch at once — a realistic delivered-batch
+// size (the replica scheduler's delivery callback passes whole batches).
+constexpr std::size_t kDeliveredBatch = 256;
+
+// Repeated fill-then-drain cycles; only the fill (insert_batch) phases are
+// timed. The single-threaded drain cannot block: a non-empty dependency
+// DAG always has a source, and with one thread every ready permit is still
+// pending.
+double measure_insert_mops(Cos& cos, const std::vector<Command>& workload) {
+  double insert_seconds = 0.0;
+  std::size_t done = 0;
+  while (done + kWindow <= workload.size()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < kWindow; i += kDeliveredBatch) {
+      cos.insert_batch({workload.data() + done + i, kDeliveredBatch});
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+    insert_seconds += std::chrono::duration<double>(t1 - t0).count();
+    for (std::size_t i = 0; i < kWindow; ++i) {
+      cos.remove(cos.get());
+    }
+    done += kWindow;
+  }
+  return static_cast<double>(done) / insert_seconds / 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const psmr::bench::Options options = psmr::bench::parse_options(argc, argv);
+  if (!options.run_real) {
+    std::printf("ablation_pinsert has no simulator mode; run with "
+                "--mode=real\n");
+    return 0;
+  }
+
+  const std::vector<std::size_t> inserter_counts = {1, 2, 4};
+  const std::vector<double> thetas = {0.0, 0.99};
+  const std::size_t cycles = options.quick ? 2 : 8;
+
+  psmr::bench::print_header(
+      "ablation_pinsert",
+      "insert-path throughput: sharded parallel insert vs serial indexed",
+      "real");
+  std::printf("%-22s %8s %6s %12s %9s\n", "pipeline", "threads", "theta",
+              "Minserts/s", "speedup");
+
+  psmr::KvService service(/*shard_count=*/kKeySpace);
+  for (const double theta : thetas) {
+    std::vector<Command> workload = psmr::make_kv_workload_zipf(
+        service, cycles * kWindow, kWritePct, kKeySpace, theta,
+        /*seed=*/42 + static_cast<std::uint64_t>(theta * 100));
+    for (std::size_t i = 0; i < workload.size(); ++i) workload[i].id = i;
+
+    // Serial baseline: the coarse-grained indexed COS — one thread computes
+    // every edge, the pipeline every other scheduler policy uses.
+    double serial = 0.0;
+    {
+      auto cos = psmr::make_cos({.kind = psmr::CosKind::kCoarseGrained,
+                                 .capacity = kWindow,
+                                 .conflict = psmr::keyset_rw_conflict,
+                                 .indexed = true});
+      serial = measure_insert_mops(*cos, workload);
+      cos->close();
+    }
+    std::printf("%-22s %8d %6.2f %12.3f %9s\n", "serial-indexed", 1, theta,
+                serial, "1.00x");
+    char series[96];
+    std::snprintf(series, sizeof(series), "insert/serial-indexed/theta=%.2f",
+                  theta);
+    psmr::bench::csv_row("ablation_pinsert", "real", series, 1.0, serial);
+
+    for (const std::size_t threads : inserter_counts) {
+      auto cos = psmr::make_parallel_insert_cos(
+          {.capacity = kWindow,
+           .conflict = psmr::keyset_rw_conflict,
+           .insert_shards = 0,  // auto: 4x threads
+           .inserter_threads = threads});
+      const double mops = measure_insert_mops(*cos, workload);
+      cos->close();
+      const double speedup = mops / serial;
+      std::printf("%-22s %8zu %6.2f %12.3f %8.2fx\n", "parallel-insert",
+                  threads, theta, mops, speedup);
+
+      std::snprintf(series, sizeof(series), "insert/pinsert/theta=%.2f",
+                    theta);
+      psmr::bench::csv_row("ablation_pinsert", "real", series,
+                           static_cast<double>(threads), mops);
+      std::snprintf(series, sizeof(series),
+                    "speedup/pinsert-vs-serial/theta=%.2f", theta);
+      psmr::bench::csv_row("ablation_pinsert", "real", series,
+                           static_cast<double>(threads), speedup);
+    }
+  }
+
+  psmr::bench::csv_flush();
+  if (!psmr::bench::json_flush(options)) return 1;
+  const int regressions = psmr::bench::run_compare("ablation_pinsert", options);
+  return regressions == 0 ? 0 : 1;
+}

@@ -63,6 +63,7 @@ inline constexpr int kTransport = 300;       // TcpTransport/SimNetwork mu_
 inline constexpr int kQueue = 400;           // BlockingQueue::mu_
 inline constexpr int kCosMonitor = 500;      // CoarseGrainedCos::mu_
 inline constexpr int kCosSegment = 520;      // StripedCos segment locks
+inline constexpr int kCosShard = 530;        // ParallelInsertCos shard locks
 inline constexpr int kCosIndex = 540;        // FineGrainedCos::index_mu_
 inline constexpr int kCosNode = 560;         // FineGrainedCos node locks
 inline constexpr int kSemaphore = 700;       // Semaphore::mu_ (COS blocking)

@@ -5,14 +5,6 @@
 namespace psmr {
 namespace {
 
-// splitmix64 finalizer — cheap, full-avalanche mixing for 64-bit keys.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
 std::size_t pow2_at_least(std::size_t n) {
   std::size_t cap = 16;
   while (cap < n) cap <<= 1;
@@ -28,7 +20,7 @@ KeyIndex::KeyIndex(std::size_t expected_keys) {
 
 KeyIndex::Slot* KeyIndex::find(std::uint64_t key) {
   const std::size_t mask = slots_.size() - 1;
-  for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+  for (std::size_t i = key_index_hash(key) & mask;; i = (i + 1) & mask) {
     Slot& s = slots_[i];
     if (s.state == SlotState::kEmpty) return nullptr;
     if (s.state == SlotState::kUsed && s.key == key) return &s;
@@ -38,10 +30,10 @@ KeyIndex::Slot* KeyIndex::find(std::uint64_t key) {
 KeyIndex::Slot* KeyIndex::find_or_insert(std::uint64_t key) {
   // Rehash at 70% occupancy (tombstones included, so probe chains stay
   // short even under heavy add/remove churn).
-  if (occupied_ * 10 >= slots_.size() * 7) grow();
+  if (occupied_ * 10 >= slots_.size() * 7) rehash();
   const std::size_t mask = slots_.size() - 1;
   Slot* grave = nullptr;
-  for (std::size_t i = mix(key) & mask;; i = (i + 1) & mask) {
+  for (std::size_t i = key_index_hash(key) & mask;; i = (i + 1) & mask) {
     Slot& s = slots_[i];
     if (s.state == SlotState::kUsed) {
       if (s.key == key) return &s;
@@ -68,10 +60,16 @@ void KeyIndex::bury(Slot* slot) {
   --used_;
 }
 
-void KeyIndex::grow() {
+void KeyIndex::rehash() {
   std::vector<Slot> old = std::move(slots_);
   slots_.clear();
-  slots_.resize(old.size() * 2);
+  // The 70% occupancy trigger counts tombstones. When live keys fill under
+  // ~35% of the table the trigger was tombstone-dominated: rebuilding at the
+  // *same* capacity drops every tombstone and restores short probe chains,
+  // so sustained add/remove churn over a stable live key-set keeps a bounded
+  // table instead of doubling forever. Genuinely full tables still double.
+  const bool tombstone_dominated = used_ * 20 < old.size() * 7;
+  slots_.resize(tombstone_dominated ? old.size() : old.size() * 2);
   used_ = 0;
   occupied_ = 0;
   for (Slot& s : old) {

@@ -53,6 +53,18 @@ inline void debug_assert_sorted_span(std::span<const std::uint64_t> keys) {
   (void)keys;
 }
 
+// splitmix64 finalizer — the full-avalanche mix KeyIndex probes with.
+// Exposed so the sharded parallel-insert scheduler can derive its
+// shard-of-key function from *high* bits of the same hash: KeyIndex consumes
+// the low bits for slot selection, so disjoint bit ranges keep each shard's
+// table uniformly loaded instead of striding it.
+inline std::uint64_t key_index_hash(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 class KeyIndex {
  public:
   struct Entry {
@@ -117,6 +129,11 @@ class KeyIndex {
   // Total entries across all keys, dead ones included. O(capacity).
   std::size_t entry_count() const;
 
+  // Current table size in slots (a power of two). Exposed for the
+  // bounded-capacity churn regression test; not meaningful to normal
+  // callers.
+  std::size_t slot_capacity() const { return slots_.size(); }
+
   void clear();
 
  private:
@@ -131,7 +148,7 @@ class KeyIndex {
   Slot* find(std::uint64_t key);
   Slot* find_or_insert(std::uint64_t key);
   void bury(Slot* slot);
-  void grow();
+  void rehash();
 
   std::vector<Slot> slots_;
   std::size_t used_ = 0;       // kUsed slots

@@ -1,0 +1,220 @@
+// Parallel dependency insertion — sharded key-index scheduling (the
+// Index-Based Scheduling approach, arXiv 1911.11329).
+//
+// Every other COS variant computes dependency edges on the single scheduler
+// thread, so once the per-command probe cost is O(k) (dep_tracker.h) the
+// insert thread itself is the remaining ceiling (ROADMAP item 1). This
+// variant partitions the conflict-key space into S shards — each an
+// independently locked KeyIndex — and runs a pool of T inserter threads
+// that probe disjoint shard subsets concurrently, off the critical ordering
+// path. Delivery order is preserved where it matters: per shard, commands
+// are probed and registered in delivery order, and a single deterministic
+// merge step (scheduler thread) combines the per-shard candidate sets into
+// node dependencies in delivery order before releasing ready commands to
+// workers. The resulting edge sets are bit-identical to the serial indexed
+// and pairwise scans (see the equivalence tests).
+//
+// Batch pipeline (insert_batch, chunked to the window capacity):
+//   1. admission    scheduler acquires one `space` permit per command
+//                   (delivery order), pops free arena slots, stamps them.
+//   2. bucketing    scheduler routes each command's keys to shards
+//                   (shard_of = high bits of key_index_hash; KeyIndex
+//                   consumes the low bits, so shard tables stay uniform).
+//   3. probe        T inserters in parallel; inserter t owns shards
+//                   s ≡ t (mod T). Per shard, in delivery order: probe the
+//                   shard index for conflicting live accessors (recording
+//                   (slot, generation) candidates), then register the
+//                   command — so earlier in-batch commands are visible to
+//                   later ones exactly as in a serial insert.
+//   4. merge        scheduler, under the graph mutex, walks commands in
+//                   delivery order and shards in fixed order, validates
+//                   candidate liveness, de-duplicates across keys/shards
+//                   with a per-command stamp, wires out-edges/pending
+//                   counts, and queues dependency-free commands.
+//
+// Confinement and locking (DESIGN.md "Sharded-index confinement"):
+//   - graph_mu_ (rank kCosMonitor) owns the arena graph state: free list,
+//     ready queue, and every Slot's live/pending_in/out/merge fields.
+//   - Each Shard's mx (rank kCosShard) owns that shard's KeyIndex only.
+//     Inserters take one shard lock at a time; workers' remove() takes the
+//     graph lock and shard locks in separate critical sections, so the two
+//     ranks never nest and the hierarchy stays acyclic.
+//   - Shard bucket/candidate buffers are *phase-confined*, not lock-guarded:
+//     ownership passes scheduler -> owning inserter -> scheduler through
+//     the per-batch job/done semaphore pair, which provides the
+//     happens-before edges.
+//   - Slot reuse is generation-stamped (seq): remove() clears `live` under
+//     graph_mu_ *before* dropping the shard index entries, and a slot
+//     returns to the free list only after its index entries are gone, so a
+//     probe can never observe a recycled slot through a stale entry and the
+//     merge step rejects candidates whose generation moved on.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <span>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/ranked_mutex.h"
+#include "common/semaphore.h"
+#include "common/thread_annotations.h"
+#include "cos/cos.h"
+#include "cos/cos_metrics.h"
+#include "cos/dep_tracker.h"
+
+namespace psmr {
+
+// Insert-path metrics specific to the sharded parallel-insert scheduler,
+// alongside the shared cos.* bundle (cos_metrics.h).
+struct ParallelInsertMetrics {
+  Counter& edge_ns;   // wall ns in the parallel probe phase (per chunk)
+  Counter& merge_ns;  // wall ns in the deterministic merge step (per chunk)
+  Gauge& shards;      // configured shard count
+};
+
+inline ParallelInsertMetrics& parallel_insert_metrics() {
+  static ParallelInsertMetrics m{
+      MetricsRegistry::global().counter("insert.edge_ns"),
+      MetricsRegistry::global().counter("insert.merge_ns"),
+      MetricsRegistry::global().gauge("scheduler.insert_shards"),
+  };
+  return m;
+}
+
+class ParallelInsertCos final : public Cos {
+ public:
+  // `conflict` must be per-key-decomposable (conflict_key_extractor != null)
+  // — the factory's make_parallel_insert_cos() falls back to a serial DAG
+  // for opaque relations instead of constructing this class. `shards` is
+  // rounded up to a power of two; `inserter_threads` is clamped to
+  // [1, shards].
+  ParallelInsertCos(std::size_t capacity, ConflictFn conflict,
+                    std::size_t shards, std::size_t inserter_threads);
+  ~ParallelInsertCos() override;
+
+  bool insert(const Command& c) override;
+  bool insert_batch(std::span<const Command> batch) override;
+  CosHandle get() override;
+  void remove(CosHandle h) override;
+  void close() override;
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> debug_edges() override;
+
+  std::size_t capacity() const override { return slots_.size(); }
+  std::size_t approx_size() const override;
+  const char* name() const override { return "parallel-insert"; }
+
+  std::size_t shard_count() const { return shards_.size(); }
+  std::size_t inserter_thread_count() const { return inserters_.size(); }
+
+ private:
+  // Arena node. The arena itself (slots_) is fixed at construction — nodes
+  // are recycled through free_list_, never freed individually, so a Slot*
+  // or slot index stays dereferenceable for the structure's lifetime.
+  // Field ownership: cmd/seq are written by the scheduler at allocation
+  // (before the slot is published to any probe) and read-only until the
+  // slot is freed; live/pending_in/out/merge_stamp are graph_mu_ state.
+  struct Slot {
+    Command cmd;
+    std::uint64_t seq = 0;          // generation stamp (allocation counter)
+    std::uint64_t merge_stamp = 0;  // last merge that wired this node (dedup)
+    std::uint32_t pending_in = 0;   // unresolved dependencies
+    bool live = false;              // inserted and not yet removed
+    std::vector<std::uint32_t> out;  // dependents, as slot indices
+  };
+
+  // A probe hit: candidate dependency recorded by an inserter, validated by
+  // the merge step ((slot, generation) — see the class comment).
+  struct Candidate {
+    std::uint32_t slot = 0;
+    std::uint64_t seq = 0;
+  };
+
+  // Candidate range for one command within one shard's cands buffer:
+  // cands[previous end .. end) belong to batch command `cmd`. Ranges are
+  // emitted in delivery order, so the merge walks them with one cursor.
+  struct CandRange {
+    std::uint32_t cmd = 0;  // index into the current chunk
+    std::uint32_t end = 0;  // exclusive end offset into cands
+  };
+
+  // One command's keys that fall into one shard, as a bitmask over the
+  // command's (sorted, <= 4) key array — the selected subsequence stays
+  // sorted, which KeyIndex requires.
+  struct BucketItem {
+    std::uint32_t cmd = 0;
+    std::uint8_t key_mask = 0;
+  };
+
+  struct Shard {
+    // Owns `index` only. Taken by the owning inserter during the probe
+    // phase and by workers' remove(); never nested with graph_mu_ or
+    // another shard's mx.
+    RankedMutex<lock_rank::kCosShard> mx;
+    KeyIndex index PSMR_GUARDED_BY(mx);
+    // Phase-confined per-batch buffers (see the class comment): bucket is
+    // written by the scheduler before the job is published, cands/ranges by
+    // the owning inserter before the done_ hand-back; the job/done
+    // semaphores provide the cross-thread ordering.
+    std::vector<BucketItem> bucket;  // NOLINT(psmr-guarded-by-coverage) phase-confined via job/done semaphores
+    std::vector<Candidate> cands;    // NOLINT(psmr-guarded-by-coverage) phase-confined via job/done semaphores
+    std::vector<CandRange> ranges;   // NOLINT(psmr-guarded-by-coverage) phase-confined via job/done semaphores
+  };
+
+  struct Inserter {
+    Semaphore job{0};  // one permit per published chunk
+    std::thread thread;
+  };
+
+  std::size_t shard_of(std::uint64_t key) const {
+    // High hash bits: KeyIndex probes with the low bits of the same mix, so
+    // the per-shard tables see an unbiased key stream (dep_tracker.h).
+    return (key_index_hash(key) >> 32) & (shards_.size() - 1);
+  }
+
+  bool insert_chunk(std::span<const Command> chunk);
+  void merge_chunk(std::span<const Command> chunk);
+  void inserter_loop(std::size_t tid);
+  void probe_shards(std::size_t tid);
+
+  const KeyExtractor extract_;
+
+  // Graph monitor: free list, ready queue, and all Slot graph fields.
+  mutable RankedMutex<lock_rank::kCosMonitor> graph_mu_;
+  std::vector<Slot> slots_;  // NOLINT(psmr-guarded-by-coverage) fixed arena; per-field protocol in the Slot comment
+  std::vector<std::uint32_t> free_list_ PSMR_GUARDED_BY(graph_mu_);
+  std::deque<std::uint32_t> ready_q_ PSMR_GUARDED_BY(graph_mu_);
+
+  std::vector<std::unique_ptr<Shard>> shards_;  // NOLINT(psmr-guarded-by-coverage) set in ctor; Shard locking per its comment
+  std::vector<std::unique_ptr<Inserter>> inserters_;  // NOLINT(psmr-guarded-by-coverage) set in ctor before threads start
+
+  // Current probe job, published scheduler -> inserters through the job
+  // semaphores each chunk (phase-confined like the Shard buffers).
+  const Command* job_cmds_ = nullptr;  // NOLINT(psmr-guarded-by-coverage) phase-confined via job/done semaphores
+  std::size_t job_count_ = 0;          // NOLINT(psmr-guarded-by-coverage) phase-confined via job/done semaphores
+  std::vector<std::uint32_t> job_slots_;  // NOLINT(psmr-guarded-by-coverage) phase-confined via job/done semaphores
+  std::atomic<int> probes_pending_{0};
+  Semaphore done_{0};  // released by the last inserter of a chunk
+
+  Semaphore space_;      // free window capacity (admission, delivery order)
+  Semaphore ready_sem_;  // ready_q_ occupancy (workers park here)
+
+  // Scheduler-thread-only counters (single inserter of record).
+  std::uint64_t seq_counter_ = 0;    // NOLINT(psmr-guarded-by-coverage) scheduler thread only
+  std::uint64_t merge_counter_ = 0;  // NOLINT(psmr-guarded-by-coverage) scheduler thread only
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> merge_cursors_;  // NOLINT(psmr-guarded-by-coverage) scheduler thread only
+
+  std::atomic<bool> closed_{false};
+  std::atomic<std::size_t> size_{0};  // approx_size observability
+  const CosMetrics& m_;
+  const ParallelInsertMetrics& pm_;
+};
+
+}  // namespace psmr

@@ -1,5 +1,6 @@
 #include "smr/replica.h"
 
+#include <cstdio>
 #include <future>
 #include <thread>
 
@@ -28,6 +29,7 @@ Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
                MetricsRegistry::global().counter("replica.reply_cache_hits"),
                MetricsRegistry::global().counter("worker.exec_ns"),
                MetricsRegistry::global().counter("worker.stall_ns"),
+               MetricsRegistry::global().counter("scheduler.dropped_deliveries"),
                MetricsRegistry::global().gauge("scheduler.queue_depth"),
                MetricsRegistry::global().histogram("scheduler.batch_size")} {
   endpoint_ = net_.add_endpoint(
@@ -35,16 +37,44 @@ Replica::Replica(Transport& net, int index, std::unique_ptr<Service> service,
   if (policy_ != SchedulerPolicy::kSequential) {
     CosOptions cos_options = config_.cos;
     cos_options.conflict = service_->conflict();
-    auto dag = make_cos(cos_options);
-    if (policy_ == SchedulerPolicy::kEarlyScheduling) {
-      cos_ = std::make_unique<EarlyCos>(std::move(dag),
-                                        service_->class_map(),
-                                        config_.workers,
-                                        cos_options.capacity);
+    if (policy_ == SchedulerPolicy::kParallelInsert) {
+      // Falls back to the serial DAG when the service's relation is opaque
+      // (no key space to shard).
+      cos_ = make_parallel_insert_cos(cos_options);
     } else {
-      cos_ = std::move(dag);
+      auto dag = make_cos(cos_options);
+      if (policy_ == SchedulerPolicy::kEarlyScheduling) {
+        cos_ = std::make_unique<EarlyCos>(std::move(dag),
+                                          service_->class_map(),
+                                          config_.workers,
+                                          cos_options.capacity);
+      } else {
+        cos_ = std::move(dag);
+      }
     }
   }
+}
+
+// All delivery-path hand-offs to the scheduler queue go through here: a
+// false return from BlockingQueue::push means the item was *dropped* (the
+// queue only rejects after close()). By the time stop() closes the queue it
+// has already cleared running_ — and that store happens-before the push's
+// failed locked read — so a rejection observed while running_ is still set
+// is a genuine lost delivery, not a shutdown race. Make that loud instead
+// of letting it masquerade as a lost command.
+bool Replica::push_delivery(Delivery d, const char* what) {
+  if (delivered_.push(std::move(d))) {
+    metrics_.queue_depth.add(1);
+    return true;
+  }
+  if (running_.load(std::memory_order_relaxed)) {  // NOLINT(psmr-relaxed-order-audit) control flag; ordering given by the queue mutex (see above)
+    metrics_.dropped_deliveries.inc();
+    std::fprintf(stderr,
+                 "psmr replica %d: dropped %s on a closed scheduler queue "
+                 "while running\n",
+                 index_, what);
+  }
+  return false;
 }
 
 Replica::~Replica() {
@@ -58,9 +88,7 @@ void Replica::connect(const std::vector<NodeId>& replica_endpoints) {
   broadcast_owner_ = std::make_unique<SequencedBroadcast>(
       net_, endpoint_, index_, replica_endpoints, config_.broadcast,
       [this](std::uint64_t seq, const std::vector<Command>& batch) {
-        if (delivered_.push({seq, batch, nullptr})) {
-          metrics_.queue_depth.add(1);
-        }
+        push_delivery({seq, batch, nullptr}, "delivered batch");
       });
   // Lagging beyond the peers' log retention: ask the peer that showed us
   // the gap for a checkpoint.
@@ -120,21 +148,18 @@ void Replica::handle_message(NodeId from, const MessagePtr& m) {
       break;  // replicas do not consume replies
     case msg::kStateRequest:
       // Serve at the next quiescent point of the scheduler.
-      if (delivered_.push(
-              {0, {}, [this, from] { serve_state_request(from); }})) {
-        metrics_.queue_depth.add(1);
-      }
+      push_delivery({0, {}, [this, from] { serve_state_request(from); }},
+                    "state request");
       break;
     case msg::kStateResponse: {
       auto keep_alive = m;  // control task outlives this handler frame
-      if (delivered_.push({0,
-                           {},
-                           [this, keep_alive] {
-                             apply_state_response(
-                                 message_as<StateResponseMsg>(keep_alive));
-                           }})) {
-        metrics_.queue_depth.add(1);
-      }
+      push_delivery({0,
+                     {},
+                     [this, keep_alive] {
+                       apply_state_response(
+                           message_as<StateResponseMsg>(keep_alive));
+                     }},
+                    "state response");
       break;
     }
     default:
@@ -275,9 +300,9 @@ void Replica::wait_quiescent() {
 std::uint64_t Replica::state_digest() {
   auto sample = std::make_shared<std::promise<std::uint64_t>>();
   auto result = sample->get_future();
-  const bool queued = delivered_.push(
-      {0, {}, [this, sample] { sample->set_value(service_->state_digest()); }});
-  if (queued) metrics_.queue_depth.add(1);
+  const bool queued = push_delivery(
+      {0, {}, [this, sample] { sample->set_value(service_->state_digest()); }},
+      "state-digest control task");
   if (!queued) {
     // Queue closed: the replica is stopped and all its threads are joined,
     // so a direct read cannot race.

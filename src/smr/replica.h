@@ -121,12 +121,16 @@ class Replica {
     Counter& reply_cache_hits;  // retransmissions answered from the cache
     Counter& worker_exec_ns;    // total worker time executing commands
     Counter& worker_stall_ns;   // total worker time blocked in cos->get()
+    Counter& dropped_deliveries;  // push on a closed queue while running_
     Gauge& queue_depth;         // delivered_ hand-off queue occupancy
     HistogramMetric& batch_size;
   };
 
   void handle_message(NodeId from, const MessagePtr& m);
   void on_request(NodeId from, const RequestMsg& m);
+  // Audited hand-off to the scheduler queue: counts/logs drops that happen
+  // while the replica still claims to be running (see replica.cc).
+  bool push_delivery(Delivery d, const char* what);
   void scheduler_loop();
   void worker_loop();
   void execute_and_reply(const Command& c);

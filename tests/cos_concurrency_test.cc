@@ -398,5 +398,55 @@ TEST(LockFreeReclamation, NodesAreReclaimedDuringOperation) {
   EXPECT_GT(cos->nodes_reclaimed(), kCommands / 2);
 }
 
+// Regression for the fine-grained *pairwise-scan* lock-order report first
+// seen in the TSan job when the key index landed (it predated the index —
+// see DESIGN.md §8.3). The root cause was insert() locking the new node up
+// front, before the hand-over-hand walk: a later list position's mutex
+// acquired before earlier ones, inverting remove()'s phase-2 list-order
+// walk. The link-time-locking fix removed it; this test pins the fix by
+// maximizing the original trigger under the TSan CI job's lock-order graph:
+// an opaque relation (rw_conflict — the pairwise scan, no index), a
+// write-heavy mix so nearly every insert records edges against the whole
+// window and nearly every remove() phase 2 walks the full suffix, a small
+// window so insert scans and phase-2 walks overlap constantly, and enough
+// workers that several removes run against the inserter at any moment.
+TEST(FineGrainedPairwiseScan, InsertScanVsRemoveWalkLockOrder) {
+  constexpr std::size_t kCommands = 30000;
+  constexpr std::size_t kGraphSize = 24;
+  auto cos = make_cos({.kind = CosKind::kFineGrained,
+                       .capacity = kGraphSize,
+                       .conflict = rw_conflict});
+  ASSERT_STREQ(cos->name(), "fine-grained");
+
+  std::thread scheduler([&] {
+    Xoshiro256 rng(31337);
+    for (std::uint64_t i = 1; i <= kCommands; ++i) {
+      // 70% writes: writes conflict with everything, so insert scans record
+      // edges on most of the window and phase-2 walks visit most of it.
+      Command c = rng.uniform() < 0.7 ? LinkedListService::make_add(i)
+                                      : LinkedListService::make_contains(i);
+      c.id = i;
+      if (!cos->insert(c)) return;
+    }
+  });
+  std::atomic<std::uint64_t> done{0};
+  std::vector<std::thread> workers;
+  for (int w = 0; w < 6; ++w) {
+    workers.emplace_back([&] {
+      while (true) {
+        CosHandle h = cos->get();
+        if (!h) return;
+        done.fetch_add(1);
+        cos->remove(h);
+      }
+    });
+  }
+  scheduler.join();
+  while (done.load() < kCommands) std::this_thread::yield();
+  cos->close();
+  for (auto& worker : workers) worker.join();
+  EXPECT_EQ(done.load(), kCommands);
+}
+
 }  // namespace
 }  // namespace psmr

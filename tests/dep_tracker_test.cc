@@ -153,6 +153,59 @@ TEST(KeyIndex, SurvivesGrowthAndChurn) {
   EXPECT_EQ(index.entry_count(), 0u);
 }
 
+TEST(KeyIndex, ChurnOverStableLiveSetKeepsBoundedCapacity) {
+  // Regression: the 70% occupancy rehash trigger counts tombstones, and
+  // rehash() used to double unconditionally — so transient add/remove churn
+  // over a *stable* live key-set (exactly a COS window under a large key
+  // space) grew the table without bound. With the fix, a tombstone-dominated
+  // trigger rebuilds at the same capacity.
+  KeyIndex index(/*expected_keys=*/32);
+  const std::size_t cap0 = index.slot_capacity();
+
+  // Stable live set: 16 keys, ~25% of the initial table.
+  std::vector<int> stable(16);
+  for (std::uint64_t i = 0; i < stable.size(); ++i) {
+    const std::uint64_t k[] = {i};
+    index.add(k, /*write=*/true, &stable[i]);
+  }
+
+  // 100k distinct transient keys, each leaving a tombstone behind. Before
+  // the fix this loop doubled the table past 32k slots.
+  int transient = 0;
+  for (std::uint64_t i = 0; i < 100000; ++i) {
+    const std::uint64_t k[] = {1000 + i};
+    index.add(k, /*write=*/true, &transient);
+    index.remove(k, &transient);
+  }
+
+  EXPECT_EQ(index.slot_capacity(), cap0);
+  EXPECT_EQ(index.key_count(), stable.size());
+  for (std::uint64_t i = 0; i < stable.size(); ++i) {
+    const std::uint64_t k[] = {i};
+    ASSERT_EQ(conflicting_nodes(index, k, true),
+              std::vector<void*>{&stable[i]})
+        << "stable key " << i << " lost in churn";
+  }
+}
+
+TEST(KeyIndex, GenuinelyFullTableStillDoubles) {
+  // The churn fix must not break real growth: a live key-set past the
+  // occupancy threshold has to enlarge the table.
+  KeyIndex index(/*expected_keys=*/32);
+  const std::size_t cap0 = index.slot_capacity();
+  std::vector<int> nodes(256);
+  for (std::uint64_t i = 0; i < nodes.size(); ++i) {
+    const std::uint64_t k[] = {i * 2654435761ull};
+    index.add(k, /*write=*/true, &nodes[i]);
+  }
+  EXPECT_GT(index.slot_capacity(), cap0);
+  EXPECT_EQ(index.key_count(), nodes.size());
+  for (std::uint64_t i = 0; i < nodes.size(); ++i) {
+    const std::uint64_t k[] = {i * 2654435761ull};
+    ASSERT_EQ(conflicting_nodes(index, k, true), std::vector<void*>{&nodes[i]});
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Part 2: indexed-vs-pairwise equivalence on full COS instances.
 // ---------------------------------------------------------------------------
